@@ -1,0 +1,52 @@
+"""Shared helpers for the experiment benches.
+
+The paper's claims are about exponents, so the core helper times an
+algorithm over a geometric ladder of input sizes and fits the slope on
+log-log axes (see :mod:`repro.util.scaling`).  Absolute numbers are
+machine-dependent and never asserted; *shapes* (who wins, roughly what
+slope) are what the benches report and, where robust, assert loosely.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.util.scaling import ScalingFit, fit_scaling_exponent
+
+
+def sweep(
+    sizes: Sequence[int],
+    make_input: Callable[[int], object],
+    run: Callable[[object], object],
+    repeats: int = 1,
+) -> List[Tuple[int, float]]:
+    """Time ``run(make_input(size))`` per size (input built off-clock)."""
+    points: List[Tuple[int, float]] = []
+    for size in sizes:
+        payload = make_input(size)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            run(payload)
+        elapsed = (time.perf_counter() - start) / repeats
+        points.append((size, elapsed))
+    return points
+
+
+def fit(points: Iterable[Tuple[int, float]]) -> ScalingFit:
+    return fit_scaling_exponent(list(points))
+
+
+def fmt_fit(fit_result: ScalingFit) -> str:
+    return (
+        f"exponent {fit_result.exponent:.2f} "
+        f"(R²={fit_result.r_squared:.3f})"
+    )
+
+
+def fmt_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"

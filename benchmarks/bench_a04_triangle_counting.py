@@ -1,0 +1,79 @@
+"""A4 (ablation) — triangle counting: matrix trace vs combinatorial.
+
+The counting sibling of Theorem 3.2's technique: trace(A·B·C) counts
+q̄△ answers through (integer) matrix multiplication, against the
+neighbor-intersection scan.  On dense instances the vectorized matrix
+route wins by orders of magnitude — the practical face of Section 2.3.
+"""
+
+import pytest
+
+from repro.joins.cycles import (
+    count_triangles_combinatorial,
+    count_triangles_matrix,
+)
+from repro.workloads import agm_tight_triangle_db, random_triangle_db
+
+from benchmarks._harness import fit, fmt_fit, fmt_seconds, sweep
+
+
+def test_a4_counting_backends_agree_and_scale(
+    benchmark, experiment_report
+):
+    def run():
+        matrix = fit(
+            sweep(
+                [400, 900, 1600, 2500],
+                agm_tight_triangle_db,
+                count_triangles_matrix,
+            )
+        )
+        comb = fit(
+            sweep(
+                [400, 900, 1600, 2500],
+                agm_tight_triangle_db,
+                count_triangles_combinatorial,
+            )
+        )
+        return matrix, comb
+
+    matrix, comb = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report.row(
+        "count triangles: trace(ABC) route",
+        "n^ω on the heavy part (Sec 2.3 technique)",
+        fmt_fit(matrix),
+    )
+    experiment_report.row(
+        "count triangles: combinatorial scan",
+        "Θ(m^{3/2}) on AGM-tight inputs",
+        fmt_fit(comb),
+    )
+
+
+def test_a4_dense_crossover(benchmark, experiment_report):
+    import time
+
+    db = agm_tight_triangle_db(10000)  # side 100, 1M answers
+
+    def run():
+        start = time.perf_counter()
+        via_matrix = count_triangles_matrix(db)
+        matrix_time = time.perf_counter() - start
+        start = time.perf_counter()
+        via_comb = count_triangles_combinatorial(db)
+        comb_time = time.perf_counter() - start
+        assert via_matrix == via_comb == 100**3
+        return matrix_time, comb_time
+
+    matrix_time, comb_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report.row(
+        "1M-triangle instance: matrix vs combinatorial",
+        "matrix multiplication wins when output is dense",
+        f"matrix {fmt_seconds(matrix_time)}, scan {fmt_seconds(comb_time)}",
+    )
+    assert matrix_time < comb_time
+
+
+def test_a4_single_count(benchmark):
+    db = random_triangle_db(20000, 300, seed=4)
+    benchmark(lambda: count_triangles_matrix(db))

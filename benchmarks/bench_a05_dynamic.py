@@ -1,0 +1,77 @@
+"""A5 — dynamic evaluation ([15], survey conclusion): constant-time
+updates for q-hierarchical queries.
+
+Measures that the per-update cost of the hierarchical count maintainer
+stays flat as the maintained database grows, against recompute-from-
+scratch whose per-update cost is Θ(m).
+"""
+
+import time
+
+import pytest
+
+from repro.counting import count_answers
+from repro.dynamic import HierarchicalCountMaintainer
+from repro.query import catalog
+from repro.workloads import random_database
+
+from benchmarks._harness import fit, fmt_fit
+
+QUERY = catalog.star_query_full(2, self_join_free=True)
+
+
+def test_a5_update_cost_flat(benchmark, experiment_report):
+    sizes = [2000, 4000, 8000, 16000]
+
+    def run():
+        incremental = []
+        recompute = []
+        for m in sizes:
+            db = random_database(QUERY, m, max(m // 20, 4), seed=m)
+            maintainer = HierarchicalCountMaintainer(QUERY)
+            maintainer.load(db)
+            probes = [(("p", i), ("hub", i % 7)) for i in range(200)]
+            start = time.perf_counter()
+            for row in probes:
+                maintainer.insert("R1", row)
+                maintainer.count()
+                maintainer.delete("R1", row)
+            incremental.append(
+                (m, (time.perf_counter() - start) / (len(probes) * 2))
+            )
+            start = time.perf_counter()
+            count_answers(QUERY, db)
+            recompute.append((m, time.perf_counter() - start))
+        return incremental, recompute
+
+    incremental, recompute = benchmark.pedantic(run, rounds=1, iterations=1)
+    inc_fit = fit(incremental)
+    experiment_report.row(
+        "per-update cost, q-hierarchical maintainer",
+        "O(1) per update ([15])",
+        fmt_fit(inc_fit)
+        + f"; {incremental[-1][1] * 1e6:.1f}µs at m={sizes[-1]}",
+    )
+    assert inc_fit.exponent < 0.5  # flat, not growing with m
+    experiment_report.row(
+        "recompute-from-scratch per update",
+        "Θ(m) per update",
+        fmt_fit(fit(recompute)),
+    )
+
+
+def test_a5_single_update_benchmark(benchmark):
+    db = random_database(QUERY, 20000, 1000, seed=1)
+    maintainer = HierarchicalCountMaintainer(QUERY)
+    maintainer.load(db)
+    state = {"flip": False}
+
+    def toggle():
+        if state["flip"]:
+            maintainer.delete("R1", ("probe", "hub"))
+        else:
+            maintainer.insert("R1", ("probe", "hub"))
+        state["flip"] = not state["flip"]
+        return maintainer.count()
+
+    benchmark(toggle)

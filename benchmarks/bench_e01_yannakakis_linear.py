@@ -1,0 +1,64 @@
+"""E1 — Theorem 3.1/3.7: acyclic Boolean queries are decidable in Õ(m).
+
+Regenerates the claim by fitting the runtime exponent of the
+Yannakakis algorithm on growing databases for acyclic queries, and
+contrasting it with the worst-case-optimal evaluation of the (cyclic)
+triangle query on AGM-tight instances, which cannot be linear.
+"""
+
+import pytest
+
+from repro.joins import generic_join, yannakakis_boolean
+from repro.query import catalog
+from repro.workloads import agm_tight_triangle_db, random_database
+
+from benchmarks._harness import fit, fmt_fit, sweep
+
+PATH = catalog.path_query(3, boolean=True)
+STAR = catalog.star_query_full(3).as_boolean()
+TRIANGLE_JOIN = catalog.triangle_query(boolean=False)
+
+
+def test_e1_acyclic_boolean_linear(benchmark, experiment_report):
+    sizes = [2000, 4000, 8000, 16000]
+
+    def run_sweeps():
+        results = {}
+        for query, name in ((PATH, "path3"), (STAR, "star3")):
+            points = sweep(
+                sizes,
+                lambda m, q=query: random_database(q, m, max(m // 20, 5), seed=m),
+                lambda db, q=query: yannakakis_boolean(q, db),
+            )
+            results[name] = fit(points)
+        # The cyclic contrast: the *join* query on AGM-tight instances
+        # must produce m^{3/2} answers, so no linear algorithm exists.
+        tri_points = sweep(
+            [400, 800, 1600, 3200],
+            lambda m: agm_tight_triangle_db(m),
+            lambda db: generic_join(TRIANGLE_JOIN, db),
+        )
+        results["triangle"] = fit(tri_points)
+        return results
+
+    results = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    for name in ("path3", "star3"):
+        experiment_report.row(
+            f"Yannakakis Boolean {name}",
+            "Õ(m), exponent 1",
+            fmt_fit(results[name]),
+        )
+        assert results[name].exponent < 1.6, (
+            "acyclic Boolean evaluation should scale near-linearly"
+        )
+    experiment_report.row(
+        "generic join on cyclic q△ (AGM-tight)",
+        "Θ(m^1.5) on tight instances",
+        fmt_fit(results["triangle"]),
+    )
+    assert results["triangle"].exponent > results["path3"].exponent
+
+
+def test_e1_single_evaluation_benchmark(benchmark):
+    db = random_database(PATH, 20000, 1000, seed=1)
+    assert benchmark(lambda: yannakakis_boolean(PATH, db)) in (True, False)

@@ -1,0 +1,91 @@
+"""E2 — Theorem 3.2: the AYZ triangle algorithm and its Δ ablation.
+
+The paper's algorithm decides q△ in Õ(m^{2ω/(ω+1)}) by splitting at
+degree Δ = m^{(ω-1)/(ω+1)}.  We measure:
+
+- the scaling exponent of the AYZ implementation vs the naive scan on
+  triangle-free graphs (worst case: no early exit possible);
+- the Δ ablation: the paper's threshold vs all-light / all-heavy
+  extremes, showing the split is what makes the bound work.
+"""
+
+import pytest
+
+from repro.joins.triangle import (
+    split_threshold,
+    triangle_boolean_ayz,
+    triangle_boolean_naive,
+)
+from repro.solvers.triangle import graph_as_triangle_database
+from repro.workloads import triangle_free_graph
+
+from benchmarks._harness import fit, fmt_fit, fmt_seconds, sweep
+
+
+def make_db(m):
+    graph = triangle_free_graph(max(m // 10, 6), m, seed=m)
+    return graph_as_triangle_database(graph)
+
+
+def test_e2_scaling_exponents(benchmark, experiment_report):
+    sizes = [1000, 2000, 4000, 8000]
+
+    def run():
+        naive = fit(
+            sweep(sizes, make_db, triangle_boolean_naive)
+        )
+        ayz = fit(
+            sweep(
+                sizes,
+                make_db,
+                lambda db: triangle_boolean_ayz(db, omega=3.0),
+            )
+        )
+        return naive, ayz
+
+    naive, ayz = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report.row(
+        "naive triangle scan (triangle-free input)",
+        "up to Θ(m^{3/2})",
+        fmt_fit(naive),
+    )
+    experiment_report.row(
+        "AYZ split + BMM (ω=3 threshold)",
+        "Õ(m^{2ω/(ω+1)}) = m^1.5 at ω=3",
+        fmt_fit(ayz),
+    )
+    assert ayz.exponent < 2.2
+
+
+def test_e2_delta_ablation(benchmark, experiment_report):
+    """The paper's Δ against degenerate thresholds, single size."""
+    db = make_db(6000)
+    m = db.size()
+    variants = {
+        "paper Δ=m^{(ω-1)/(ω+1)}": split_threshold(m, 3.0),
+        "all-light (Δ=∞)": 1e18,
+        "all-heavy (Δ=0)": 0.0,
+    }
+
+    import time
+
+    def run():
+        timings = {}
+        for label, delta in variants.items():
+            start = time.perf_counter()
+            triangle_boolean_ayz(db, delta=delta)
+            timings[label] = time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, seconds in timings.items():
+        experiment_report.row(
+            f"Δ ablation: {label}",
+            "balanced Δ minimizes the max of both parts",
+            fmt_seconds(seconds),
+        )
+
+
+def test_e2_ayz_single_call(benchmark):
+    db = make_db(8000)
+    benchmark(lambda: triangle_boolean_ayz(db))

@@ -1,0 +1,69 @@
+"""E3 — Proposition 3.3: triangle finding through cyclic CQs.
+
+Measures (a) that the reduction's database is linear in the graph, and
+(b) that deciding the target query on the reduced instance tracks the
+cost of the underlying triangle problem — i.e. the reduction transfers
+hardness without polynomial blow-up.
+"""
+
+import pytest
+
+from repro.query import catalog
+from repro.reductions import TriangleToCyclicCQ
+from repro.workloads import triangle_free_graph
+
+from benchmarks._harness import fit, fmt_fit, sweep
+
+TARGETS = {
+    "4-cycle": catalog.cycle_query(4, boolean=True),
+    "5-cycle": catalog.cycle_query(5, boolean=True),
+}
+
+
+def test_e3_database_linear_in_graph(benchmark, experiment_report):
+    reduction = TriangleToCyclicCQ(TARGETS["5-cycle"])
+
+    def run():
+        rows = []
+        for m in (1000, 2000, 4000, 8000):
+            graph = triangle_free_graph(max(m // 10, 6), m, seed=m)
+            db = reduction.build_database(graph)
+            rows.append((m + graph.number_of_nodes(), db.size()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    growth = fit(rows)  # database size as a function of graph size
+    experiment_report.row(
+        "reduced DB size vs graph size (5-cycle target)",
+        "size(D) = O(|V| + |E|), exponent 1",
+        fmt_fit(growth),
+    )
+    assert growth.within(1.0, 0.15)
+
+
+def test_e3_end_to_end_scaling(benchmark, experiment_report):
+    reduction = TriangleToCyclicCQ(TARGETS["4-cycle"])
+
+    def decide(graph):
+        return reduction.decide_triangle(graph)
+
+    def run():
+        points = sweep(
+            [500, 1000, 2000, 4000],
+            lambda m: triangle_free_graph(max(m // 10, 6), m, seed=m),
+            decide,
+        )
+        return fit(points)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report.row(
+        "decide triangle via 4-cycle query",
+        "linear-time q°4 would give linear triangles",
+        fmt_fit(result),
+    )
+
+
+def test_e3_single_reduction_benchmark(benchmark):
+    reduction = TriangleToCyclicCQ(TARGETS["4-cycle"])
+    graph = triangle_free_graph(500, 4000, seed=3, plant_triangle=True)
+    assert benchmark(lambda: reduction.decide_triangle(graph))

@@ -1,0 +1,76 @@
+"""E7 — Theorem 3.15 / Hypothesis 1: sparse BMM through q̄*_2.
+
+A constant-delay enumerator for q̄*_2 would multiply sparse Boolean
+matrices in Õ(m + m').  We run the reduction with the real
+(materializing) enumerator and measure output-sensitivity: runtime as
+a function of m' = nnz(A) + nnz(B) + nnz(AB), plus the crossover
+between the combinatorial sparse algorithm and the dense n^ω route.
+"""
+
+import pytest
+
+from repro.matmul import sparse_bmm, sparse_bmm_via_dense
+from repro.reductions import bmm_via_enumeration
+from repro.workloads import random_sparse_boolean_matrix
+
+from benchmarks._harness import fit, fmt_fit, fmt_seconds, sweep
+
+
+def matrix_pair(nnz):
+    n = max(int(nnz**0.75), 4)
+    a = random_sparse_boolean_matrix(n, n, nnz, seed=nnz)
+    b = random_sparse_boolean_matrix(n, n, nnz, seed=nnz + 1)
+    return a, b
+
+
+def test_e7_output_sensitive_scaling(benchmark, experiment_report):
+    def run():
+        points = []
+        for nnz in (1000, 2000, 4000, 8000):
+            a, b = matrix_pair(nnz)
+            import time
+
+            start = time.perf_counter()
+            product = bmm_via_enumeration(a, b)
+            elapsed = time.perf_counter() - start
+            m_total = a.nnz + b.nnz + product.nnz
+            points.append((m_total, elapsed))
+        return points
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = fit(points)
+    experiment_report.row(
+        "BMM via q̄*_2 enumeration, time vs m=in+out",
+        "Õ(m) impossible (Hyp 1); best known m^1.35",
+        fmt_fit(result),
+    )
+
+
+def test_e7_sparse_vs_dense_routes(benchmark, experiment_report):
+    """The Section 2.3 point: dense n^ω does not help sparse inputs."""
+    import time
+
+    nnz = 4000
+    a, b = matrix_pair(nnz)
+
+    def run():
+        start = time.perf_counter()
+        sparse_result = sparse_bmm(a, b)
+        sparse_time = time.perf_counter() - start
+        start = time.perf_counter()
+        dense_result = sparse_bmm_via_dense(a, b)
+        dense_time = time.perf_counter() - start
+        assert sparse_result == dense_result
+        return sparse_time, dense_time
+
+    sparse_time, dense_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report.row(
+        f"sparse route vs dense route (nnz={nnz}, n={a.shape[0]})",
+        "sparse wins when nnz ≪ n²",
+        f"sparse {fmt_seconds(sparse_time)} vs dense {fmt_seconds(dense_time)}",
+    )
+
+
+def test_e7_single_product(benchmark):
+    a, b = matrix_pair(5000)
+    benchmark(lambda: bmm_via_enumeration(a, b))

@@ -1,0 +1,100 @@
+"""E8 — Theorem 3.17: constant delay after linear preprocessing.
+
+For the free-connex side we measure that (a) preprocessing scales
+near-linearly and (b) the *maximum delay* between answers stays flat
+as the database grows.  For the non-free-connex star query the honest
+fallback's preprocessing grows like the full evaluation — the gap
+Theorem 3.16 proves necessary.
+"""
+
+import pytest
+
+from repro.enumeration import ConstantDelayEnumerator, measure_delays
+from repro.query import catalog
+from repro.workloads.databases import functional_path_db, random_star_db
+
+from benchmarks._harness import fit, fmt_fit, sweep
+
+FC = catalog.path_query(2)  # q(v1,v2,v3): free-connex join query
+NFC = catalog.star_query_sjf(2)
+
+
+def test_e8_free_connex_delay_flat(benchmark, experiment_report):
+    sizes = [2000, 4000, 8000, 16000]
+
+    def run():
+        profiles = {}
+        for m in sizes:
+            db = functional_path_db(2, m, seed=m)
+            profiles[m] = measure_delays(
+                lambda db=db: ConstantDelayEnumerator(FC, db), limit=2000
+            )
+        return profiles
+
+    profiles = benchmark.pedantic(run, rounds=1, iterations=1)
+    pre_fit = fit(
+        [(m, p.preprocessing_seconds) for m, p in profiles.items()]
+    )
+    experiment_report.row(
+        "free-connex preprocessing",
+        "Õ(m), exponent 1",
+        fmt_fit(pre_fit),
+    )
+    assert pre_fit.exponent < 1.7
+    delays = {m: p.mean_delay for m, p in profiles.items()}
+    smallest, largest = delays[sizes[0]], delays[sizes[-1]]
+    experiment_report.row(
+        "free-connex mean delay, m 2k→16k",
+        "constant (independent of m)",
+        f"{smallest * 1e6:.1f}µs → {largest * 1e6:.1f}µs",
+    )
+    # 8× data must not mean 8× delay; allow generous interpreter noise.
+    assert largest < smallest * 4 + 1e-4
+
+
+def test_e8_non_free_connex_preprocessing_grows(
+    benchmark, experiment_report
+):
+    sizes = [500, 1000, 2000]
+
+    def hub_star_db(m):
+        """Constant hub count: the q̄*_2 output is Θ(m²/hubs)."""
+        from repro.db.database import Database
+        from repro.db.relation import Relation
+
+        hubs = 8
+        db = Database()
+        for name in ("R1", "R2"):
+            rel = Relation(name, 2)
+            for i in range(m):
+                rel.add(((name, i), i % hubs))
+            db.add_relation(rel)
+        return db
+
+    def run():
+        points = []
+        for m in sizes:
+            db = hub_star_db(m)
+            profile = measure_delays(
+                lambda db=db: ConstantDelayEnumerator(
+                    NFC, db, strict=False
+                ),
+                limit=1,
+            )
+            points.append((m, profile.preprocessing_seconds))
+        return points
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = fit(points)
+    experiment_report.row(
+        "non-free-connex q̄*_2 fallback preprocessing",
+        "no Õ(m) preprocessing (Thm 3.16, Hyp 1)",
+        fmt_fit(result),
+    )
+    assert result.exponent > 1.5
+
+
+def test_e8_enumeration_throughput(benchmark):
+    db = functional_path_db(2, 20000, seed=1)
+    enumerator = ConstantDelayEnumerator(FC, db)
+    benchmark(lambda: sum(1 for _ in enumerator))

@@ -1,0 +1,82 @@
+"""E9 — Lemmas 3.20/3.21: the testing problem.
+
+Lemma 3.20's upper bound: testing via direct access costs only a log
+factor (measured: per-test access counts).  Lemma 3.21's lower bound:
+for q*_2 the preprocessing of the honest tester grows superlinearly
+(it must materialize), and triangle detection rides on it.
+"""
+
+import pytest
+
+from repro.direct_access import TestingOracle
+from repro.query import catalog
+from repro.reductions import detect_triangle_via_testing
+from repro.workloads import random_database, triangle_free_graph
+from repro.workloads.databases import random_star_db
+
+from benchmarks._harness import fit, fmt_fit, sweep
+
+PATH = catalog.path_query(2)
+STAR = catalog.star_query(2)
+
+
+def test_e9_testing_via_direct_access_log_probes(
+    benchmark, experiment_report
+):
+    def run():
+        db = random_database(PATH, 8000, 400, seed=1)
+        oracle = TestingOracle(PATH, db)
+        answers = sorted(PATH.evaluate_brute_force(db))[:200]
+        for answer in answers:
+            assert oracle.test(answer)
+        return oracle, len(answers)
+
+    oracle, tests = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_test = oracle.accesses / tests
+    experiment_report.row(
+        "testing path query via direct access",
+        "O(log M) accesses per test (Lemma 3.20)",
+        f"{per_test:.1f} accesses/test on {tests} tests",
+    )
+    assert per_test < 40  # log2 of result size plus constant
+
+
+def test_e9_star_testing_preprocessing_superlinear(
+    benchmark, experiment_report
+):
+    sizes = [500, 1000, 2000]
+
+    def run():
+        import time
+
+        points = []
+        for m in sizes:
+            db = random_star_db(2, m, max(m // 20, 4), seed=m)
+            start = time.perf_counter()
+            TestingOracle(STAR, db)  # hash mode: materializes
+            points.append((m, time.perf_counter() - start))
+        return points
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = fit(points)
+    experiment_report.row(
+        "testing q*_2: honest preprocessing",
+        "not Õ(m) (Lemma 3.21, Triangle Hyp)",
+        fmt_fit(result),
+    )
+    assert result.exponent > 1.2
+
+
+def test_e9_triangle_via_testing_pipeline(benchmark, experiment_report):
+    graph = triangle_free_graph(300, 1500, seed=2, plant_triangle=True)
+
+    def run():
+        return detect_triangle_via_testing(graph)
+
+    found = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert found
+    experiment_report.row(
+        "triangle detection through q*_2 testing",
+        "one test per edge decides triangles",
+        "verified (planted triangle found)",
+    )

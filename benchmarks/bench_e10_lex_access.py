@@ -1,0 +1,103 @@
+"""E10 — Theorem 3.24 / Lemma 3.23: lexicographic direct access.
+
+The same query q̂*_2 under two orders: z-first (no disruptive trio —
+layered tree, linear preprocessing, log access) vs x1 > x2 > z (the
+disruptive trio — the honest implementation must materialize, and the
+preprocessing grows with the output, which is superlinear in m).
+"""
+
+import pytest
+
+from repro.direct_access import LexDirectAccess
+from repro.query import catalog
+from repro.workloads.databases import random_star_db
+
+from benchmarks._harness import fit, fmt_fit, fmt_seconds, sweep
+
+QUERY = catalog.star_query_full(2, self_join_free=True)
+GOOD_ORDER = ("z", "x1", "x2")
+TRIO_ORDER = ("x1", "x2", "z")
+
+
+def star_db(m):
+    # Few hubs: output is quadratic in m, the worst case for the
+    # materializing side while the layered side stays linear.
+    return random_star_db(2, m, max(m // 30, 3), seed=m, self_join_free=True)
+
+
+def test_e10_good_order_preprocessing_linear(benchmark, experiment_report):
+    sizes = [2000, 4000, 8000, 16000]
+
+    def run():
+        import time
+
+        points = []
+        for m in sizes:
+            db = star_db(m)
+            start = time.perf_counter()
+            LexDirectAccess(QUERY, db, order=GOOD_ORDER)
+            points.append((m, time.perf_counter() - start))
+        return points
+
+    result = fit(benchmark.pedantic(run, rounds=1, iterations=1))
+    experiment_report.row(
+        f"preprocessing, order {' > '.join(GOOD_ORDER)} (no trio)",
+        "Õ(m) (Theorem 3.24)",
+        fmt_fit(result),
+    )
+    assert result.exponent < 1.6
+
+
+def test_e10_trio_order_preprocessing_superlinear(
+    benchmark, experiment_report
+):
+    sizes = [500, 1000, 2000]
+
+    def run():
+        import time
+
+        points = []
+        for m in sizes:
+            db = star_db(m)
+            start = time.perf_counter()
+            LexDirectAccess(QUERY, db, order=TRIO_ORDER, strict=False)
+            points.append((m, time.perf_counter() - start))
+        return points
+
+    result = fit(benchmark.pedantic(run, rounds=1, iterations=1))
+    experiment_report.row(
+        f"preprocessing, order {' > '.join(TRIO_ORDER)} (disruptive trio)",
+        "not Õ(m) (Lemma 3.23, Triangle Hyp)",
+        fmt_fit(result),
+    )
+    assert result.exponent > 1.3
+
+
+def test_e10_access_time_logarithmic(benchmark, experiment_report):
+    import time
+
+    db = star_db(16000)
+    accessor = LexDirectAccess(QUERY, db, order=GOOD_ORDER)
+    total = len(accessor)
+    probes = [0, total // 7, total // 3, total // 2, total - 1]
+
+    def run():
+        start = time.perf_counter()
+        for index in probes:
+            accessor.access(index)
+        return (time.perf_counter() - start) / len(probes)
+
+    per_access = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report.row(
+        f"access time at m=16000 ({total} answers)",
+        "Õ(log m) per access",
+        fmt_seconds(per_access) + "/access",
+    )
+    assert per_access < 0.01  # milliseconds, not proportional to m
+
+
+def test_e10_single_access_benchmark(benchmark):
+    db = star_db(8000)
+    accessor = LexDirectAccess(QUERY, db, order=GOOD_ORDER)
+    middle = len(accessor) // 2
+    benchmark(lambda: accessor.access(middle))

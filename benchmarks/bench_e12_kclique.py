@@ -1,0 +1,97 @@
+"""E12 — Theorem 4.1: Nešetřil–Poljak k-clique via triangle + BMM.
+
+The reduction turns k-clique into triangle detection on the r-clique
+graph.  We measure both the reduction-based algorithm and naive
+branch-and-bound on dense random graphs, reporting who wins and the
+growth with n — the reason plain k-Clique cannot anchor n^k lower
+bounds (and the weighted variants, Hypotheses 7/8, exist).
+"""
+
+import pytest
+
+from repro.reductions import build_triangle_database, has_k_clique_np, split_k
+from repro.solvers import has_k_clique_brute
+from repro.workloads import random_graph
+
+from benchmarks._harness import fit, fmt_fit, fmt_seconds, sweep
+
+K = 4
+
+
+def dense_graph(n):
+    """A dense K4-free graph: complete tripartite skeleton thinned at
+    random.  Clique number ≤ 3, so neither algorithm can early-exit —
+    both pay their full exhaustive cost (the fair comparison)."""
+    import random as _random
+
+    rng = _random.Random(n)
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if u % 3 != v % 3 and rng.random() < 0.75:
+                graph.add_edge(u, v)
+    return graph
+
+
+def test_e12_np_vs_brute(benchmark, experiment_report):
+    brute_sizes = [16, 22, 30, 40]
+    np_sizes = [24, 36, 54, 80]  # larger ladder: stabler slope
+
+    def run():
+        import time
+
+        np_points, brute_points = [], []
+        for n in brute_sizes:
+            graph = dense_graph(n)
+            start = time.perf_counter()
+            got_brute = has_k_clique_brute(graph, K)
+            brute_points.append((n, time.perf_counter() - start))
+            assert got_brute == has_k_clique_np(graph, K)
+        for n in np_sizes:
+            graph = dense_graph(n)
+            start = time.perf_counter()
+            has_k_clique_np(graph, K)
+            np_points.append((n, time.perf_counter() - start))
+        return np_points, brute_points
+
+    np_points, brute_points = benchmark.pedantic(run, rounds=1, iterations=1)
+    np_fit = fit(np_points)
+    experiment_report.row(
+        f"{K}-clique via triangle reduction, time vs n",
+        "Õ(n^{ω⌊k/3⌋+i}) — sub-n^k (Thm 4.1)",
+        fmt_fit(np_fit),
+    )
+    experiment_report.row(
+        f"{K}-clique branch-and-bound, time vs n",
+        "n^k-ish on dense graphs",
+        fmt_fit(fit(brute_points)),
+    )
+
+
+def test_e12_clique_graph_size_accounting(benchmark, experiment_report):
+    def run():
+        rows = []
+        for n in (12, 16, 22, 30):
+            graph = dense_graph(n)
+            db = build_triangle_database(graph, K)
+            rows.append((n, db.size()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    growth = fit(rows)
+    r1, r2, r3 = split_k(K)
+    predicted = r1 + r2 + r2 + r3  # dominant side pair ~ n^{r_i + r_j}
+    experiment_report.row(
+        "triangle-instance size vs n (k=4 → parts 1,1,2)",
+        f"O(n^{predicted}) potential pairs",
+        fmt_fit(growth),
+    )
+    assert growth.exponent < predicted + 1.0
+
+
+def test_e12_single_detection(benchmark):
+    graph = dense_graph(30)
+    benchmark(lambda: has_k_clique_np(graph, K))

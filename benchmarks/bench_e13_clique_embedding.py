@@ -1,0 +1,87 @@
+"""E13 — Section 4.2, Example 4.2/4.3 and Figure 1: clique embeddings.
+
+Regenerates Figure 1, checks the embedding's accounting (4 clique
+vertices per atom ⇒ database size O(n^4) ⇒ certified exponent
+ℓ/max-depth = 5/4 for tropical 5-cycle aggregation), and runs
+Min-Weight-5-Clique through the embedding against brute force.
+"""
+
+import math
+
+import pytest
+
+from repro.reductions import example_5cycle_embedding, figure1_ascii
+from repro.solvers import min_weight_k_clique_brute
+from repro.workloads import random_weighted_graph
+
+from benchmarks._harness import fit, fmt_fit, fmt_seconds
+
+
+def test_e13_figure1_regeneration(benchmark, experiment_report):
+    art = benchmark.pedantic(figure1_ascii, rounds=1, iterations=1)
+    for i in range(1, 6):
+        assert art.count(f"x{i}") == 3  # each ψ(x_i) spans 3 cycle nodes
+    experiment_report.note("Figure 1 regenerated:")
+    for line in art.splitlines():
+        experiment_report.note("  " + line)
+
+
+def test_e13_embedding_accounting(benchmark, experiment_report):
+    embedding = example_5cycle_embedding()
+
+    def run():
+        rows = []
+        for n in (5, 6, 7, 8):
+            graph, _ = random_weighted_graph(
+                n, n * (n - 1) // 2, seed=n
+            )
+            db, _ = embedding.build_database(graph)
+            rows.append((n, db.size()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    growth = fit(rows)
+    experiment_report.row(
+        "embedding database size vs n (complete graphs)",
+        "O(n^4): 4 clique vertices per atom (Ex 4.3)",
+        fmt_fit(growth) + " (falling-factorial inflated at small n)",
+    )
+    # Exact accounting on complete graphs: each of the 5 atoms holds
+    # one tuple per ordered choice of 4 distinct vertices.
+    for n, size in rows:
+        assert size == 5 * n * (n - 1) * (n - 2) * (n - 3)
+    experiment_report.row(
+        "certified exponent for tropical q°5 aggregation",
+        "ℓ / max-depth = 5/4 (Ex 4.3)",
+        f"{embedding.power_lower_bound():.2f}",
+    )
+
+
+def test_e13_min_weight_clique_end_to_end(benchmark, experiment_report):
+    embedding = example_5cycle_embedding()
+
+    def run():
+        import time
+
+        outcomes = []
+        for seed in (31, 32):
+            graph, weights = random_weighted_graph(9, 30, seed=seed)
+            start = time.perf_counter()
+            via = embedding.min_weight_clique(graph, weights)
+            via_time = time.perf_counter() - start
+            start = time.perf_counter()
+            brute = min_weight_k_clique_brute(graph, 5, weights)
+            brute_time = time.perf_counter() - start
+            expected = math.inf if brute is None else brute
+            assert via == expected
+            outcomes.append((via_time, brute_time))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    via_time = sum(t for t, _ in outcomes) / len(outcomes)
+    brute_time = sum(t for _, t in outcomes) / len(outcomes)
+    experiment_report.row(
+        "Min-Weight-5-Clique via q°5 tropical aggregation",
+        "agrees with n^5 brute force (Ex 4.3)",
+        f"embedding {fmt_seconds(via_time)}, brute {fmt_seconds(brute_time)}",
+    )

@@ -1,0 +1,87 @@
+"""E14 — Theorem 4.6: quantified star size bounds counting.
+
+The star size k of an acyclic query lower-bounds counting at m^{k-ε}.
+We verify the structural measure on the star family and measure that
+the counting cost of q*_k indeed climbs with k on all-pairs instances,
+while a star-size-1 (free-connex) query with the same data stays flat.
+"""
+
+import pytest
+
+from repro.counting import count_answers
+from repro.hypergraph import quantified_star_size
+from repro.query import catalog
+
+from benchmarks._harness import fit, fmt_fit
+from benchmarks.bench_e05_star_counting import worst_case_star_db
+
+
+def test_e14_star_size_values(benchmark, experiment_report):
+    def run():
+        return {
+            k: quantified_star_size(catalog.star_query(k))
+            for k in (1, 2, 3, 4)
+        }
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert values == {1: 1, 2: 2, 3: 3, 4: 4}
+    experiment_report.row(
+        "quantified star size of q*_k",
+        "exactly k ([39], Section 4.4)",
+        str(values),
+    )
+
+
+def test_e14_counting_cost_climbs_with_star_size(
+    benchmark, experiment_report
+):
+    """Exponent ladder: fitted counting exponents increase with k."""
+    plans = {1: [2000, 4000, 8000], 2: [300, 600, 1200], 3: [60, 120, 240]}
+
+    def run():
+        fits = {}
+        for k, sizes in plans.items():
+            query = catalog.star_query(k)
+            points = []
+            for m in sizes:
+                import time
+
+                db = worst_case_star_db(m)
+                start = time.perf_counter()
+                count_answers(query, db)
+                points.append((m, time.perf_counter() - start))
+            fits[k] = fit(points)
+        return fits
+
+    fits = benchmark.pedantic(run, rounds=1, iterations=1)
+    for k, result in fits.items():
+        bound = "Õ(m) (free-connex)" if k == 1 else f"≥ m^{k} (Thm 4.6)"
+        experiment_report.row(
+            f"count q*_{k} on all-pairs data",
+            bound,
+            fmt_fit(result),
+        )
+    assert fits[1].exponent < fits[2].exponent < fits[3].exponent + 0.6
+
+
+def test_e14_star_size_one_stays_linear(benchmark, experiment_report):
+    query = catalog.star_query(1)
+
+    def run():
+        import time
+
+        points = []
+        for m in (4000, 8000, 16000):
+            db = worst_case_star_db(m)
+            start = time.perf_counter()
+            count_answers(query, db)
+            points.append((m, time.perf_counter() - start))
+        return points
+
+    result = fit(benchmark.pedantic(run, rounds=1, iterations=1))
+    experiment_report.row(
+        "count q*_1 (star size 1, free-connex)",
+        "Õ(m)",
+        fmt_fit(result),
+    )
+    assert result.exponent < 1.6

@@ -1,0 +1,50 @@
+"""Benchmark-suite plumbing.
+
+Every experiment bench records human-readable "paper vs measured" rows
+through the ``experiment_report`` fixture.  The rows are printed in the
+terminal summary (so they survive pytest's output capture) and written
+to ``benchmarks/experiment_results.txt`` for EXPERIMENTS.md.
+"""
+
+import os
+from typing import List
+
+import pytest
+
+_ROWS: List[str] = []
+_RESULTS_PATH = os.path.join(os.path.dirname(__file__), "experiment_results.txt")
+
+
+class ExperimentReport:
+    """Collects one experiment's rows with a uniform format."""
+
+    def __init__(self, experiment: str) -> None:
+        self.experiment = experiment
+
+    def row(self, label: str, paper: str, measured: str) -> None:
+        _ROWS.append(
+            f"{self.experiment:<6} {label:<46} paper: {paper:<34} "
+            f"measured: {measured}"
+        )
+
+    def note(self, text: str) -> None:
+        _ROWS.append(f"{self.experiment:<6} {text}")
+
+
+@pytest.fixture
+def experiment_report(request):
+    """Per-test report handle; the experiment id is the module's E-tag."""
+    module = request.module.__name__
+    tag = module.split("_")[1] if "_" in module else module
+    return ExperimentReport(tag.upper())
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _ROWS:
+        return
+    terminalreporter.write_sep("=", "experiment results (paper vs measured)")
+    for row in _ROWS:
+        terminalreporter.write_line(row)
+    with open(_RESULTS_PATH, "w") as handle:
+        handle.write("\n".join(_ROWS) + "\n")
+    terminalreporter.write_line(f"(written to {_RESULTS_PATH})")

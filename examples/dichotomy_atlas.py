@@ -1,0 +1,64 @@
+"""An atlas of the paper's query families under every dichotomy.
+
+Classifies the whole catalog — triangle, cycles, paths, stars,
+Loomis–Whitney, cliques — and prints one compact row per query, the
+way one would eyeball Theorems 3.7, 3.13, 3.17, 3.24 and 3.26 at once.
+
+Run:  python examples/dichotomy_atlas.py
+"""
+
+from repro import classify
+from repro.query import catalog
+
+
+def atlas_queries():
+    yield catalog.triangle_query()
+    yield catalog.cycle_query(4, boolean=True)
+    yield catalog.cycle_query(5)
+    yield catalog.path_query(2)
+    yield catalog.path_query(3)
+    yield catalog.free_connex_pair()[0]
+    yield catalog.free_connex_pair()[1]
+    yield catalog.star_query(2)
+    yield catalog.star_query(3)
+    yield catalog.star_query_sjf(2)
+    yield catalog.star_query_full(2, self_join_free=True)
+    yield catalog.loomis_whitney_query(4)
+    yield catalog.loomis_whitney_query(5)
+    yield catalog.clique_query(3)
+    yield catalog.matrix_multiplication_query()
+
+
+def tick(flag: bool) -> str:
+    return "yes" if flag else "no"
+
+
+def main() -> None:
+    header = (
+        f"{'query':<16} {'acyclic':<8} {'free-cx':<8} {'rho*':<6} "
+        f"{'star':<5} {'bool':<6} {'count':<6} {'enum':<6} {'access':<6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for query in atlas_queries():
+        report = classify(query)
+        row = (
+            f"{report.query_name:<16} "
+            f"{tick(report.acyclic):<8} "
+            f"{tick(report.free_connex):<8} "
+            f"{report.agm_exponent:<6.2f} "
+            f"{report.quantified_star_size:<5} "
+            f"{tick(report.verdict('boolean').tractable):<6} "
+            f"{tick(report.verdict('counting').tractable):<6} "
+            f"{tick(report.verdict('enumeration').tractable):<6} "
+            f"{tick(report.verdict('direct-access').tractable):<6}"
+        )
+        print(row)
+    print()
+    print("Column key: tractable = within the paper's target resource")
+    print("(linear time / linear preprocessing with constant delay or")
+    print("logarithmic access), per Theorems 3.7, 3.13, 3.17, 3.18.")
+
+
+if __name__ == "__main__":
+    main()

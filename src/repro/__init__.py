@@ -1,0 +1,75 @@
+"""repro — reproduction of "Lower Bounds for Conjunctive Query Evaluation"
+(Stefan Mengel, PODS 2025, arXiv:2506.17702).
+
+The package implements, from scratch, every algorithm the survey states
+an upper bound for and every fine-grained reduction it proves, plus the
+dichotomy classifiers the theorems induce.  Subpackages:
+
+- :mod:`repro.db` — relations and databases;
+- :mod:`repro.query` — conjunctive query syntax, parser, catalog;
+- :mod:`repro.hypergraph` — acyclicity, join trees, free-connexness,
+  disruptive trios, Brault-Baron witnesses, star size, AGM exponents;
+- :mod:`repro.matmul` — Boolean matrix multiplication backends;
+- :mod:`repro.joins` — Yannakakis, generic join, AYZ triangle, LW joins;
+- :mod:`repro.counting` — answer counting algorithms + interpolation;
+- :mod:`repro.semiring` — aggregation over semirings (FAQ);
+- :mod:`repro.enumeration` — constant-delay enumeration;
+- :mod:`repro.direct_access` — lexicographic / sum-order direct access,
+  testing;
+- :mod:`repro.solvers` — reference solvers for the source problems;
+- :mod:`repro.reductions` — the paper's fine-grained reductions;
+- :mod:`repro.classify` — the dichotomy classifier;
+- :mod:`repro.workloads` — seeded instance generators;
+- :mod:`repro.util` — timing and scaling-exponent estimation.
+
+Quickstart::
+
+    from repro import parse_query, classify
+    q = parse_query("q(x1, x2) :- R1(x1, z), R2(x2, z)")
+    print(classify(q).render())
+"""
+
+from repro.classify import QueryClassification, TaskVerdict, classify
+from repro.counting import count_answers
+from repro.db import Database, Relation
+from repro.dynamic import HierarchicalCountMaintainer
+from repro.direct_access import (
+    LexDirectAccess,
+    SumOrderDirectAccess,
+    TestingOracle,
+)
+from repro.enumeration import ConstantDelayEnumerator
+from repro.hypergraph import (
+    Hypergraph,
+    is_acyclic,
+    is_free_connex,
+    join_tree,
+    quantified_star_size,
+)
+from repro.query import Atom, ConjunctiveQuery, catalog, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "ConstantDelayEnumerator",
+    "Database",
+    "HierarchicalCountMaintainer",
+    "Hypergraph",
+    "LexDirectAccess",
+    "QueryClassification",
+    "Relation",
+    "SumOrderDirectAccess",
+    "TaskVerdict",
+    "TestingOracle",
+    "catalog",
+    "classify",
+    "count_answers",
+    "is_acyclic",
+    "is_free_connex",
+    "join_tree",
+    "parse_query",
+    "quantified_star_size",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""The dichotomy classifier: the paper's theorems as a decision aid.
+
+Given any conjunctive query, :func:`classify` reports, for every task
+the paper analyzes (Boolean evaluation, counting, enumeration, direct
+access in lexicographic and sum orders), which side of the dichotomy
+the query is on, what runtime to expect, which theorem says so, and
+which hypotheses make the bound tight.
+"""
+
+from repro.classify.classifier import classify
+from repro.classify.report import QueryClassification, TaskVerdict
+
+__all__ = ["QueryClassification", "TaskVerdict", "classify"]

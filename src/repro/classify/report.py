@@ -1,0 +1,90 @@
+"""Report types for the dichotomy classifier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.reductions.hypotheses import Hypothesis
+
+
+@dataclass(frozen=True)
+class TaskVerdict:
+    """One task's classification for one query.
+
+    ``tractable`` means "solvable within the paper's target resource
+    for this task" (linear time; linear preprocessing + constant
+    delay/logarithmic access).  ``upper_bound`` and ``lower_bound`` are
+    human-readable runtime expressions; ``theorem`` cites the paper;
+    ``hypotheses`` are the assumptions under which the lower bound (and
+    hence tightness) holds.
+    """
+
+    task: str
+    tractable: bool
+    upper_bound: str
+    lower_bound: Optional[str]
+    theorem: str
+    hypotheses: Tuple[Hypothesis, ...] = ()
+    note: str = ""
+
+    def render(self) -> str:
+        status = "tractable" if self.tractable else "hard"
+        lines = [f"{self.task}: {status} [{self.theorem}]"]
+        lines.append(f"  upper bound: {self.upper_bound}")
+        if self.lower_bound:
+            lines.append(f"  lower bound: {self.lower_bound}")
+        if self.hypotheses:
+            names = ", ".join(h.name for h in self.hypotheses)
+            lines.append(f"  assuming: {names}")
+        if self.note:
+            lines.append(f"  note: {self.note}")
+        return "\n".join(lines)
+
+
+@dataclass
+class QueryClassification:
+    """Structural facts plus per-task verdicts for one query."""
+
+    query_name: str
+    query_text: str
+    acyclic: bool
+    free_connex: bool
+    self_join_free: bool
+    is_join_query: bool
+    is_boolean: bool
+    agm_exponent: float
+    quantified_star_size: int
+    hard_witness: Optional[str]
+    trio_free_order: Optional[Tuple[str, ...]]
+    verdicts: Tuple[TaskVerdict, ...] = field(default_factory=tuple)
+
+    def verdict(self, task: str) -> TaskVerdict:
+        """Look up one task's verdict by name."""
+        for verdict in self.verdicts:
+            if verdict.task == task:
+                return verdict
+        raise KeyError(f"no verdict for task {task!r}")
+
+    def render(self) -> str:
+        """A human-readable multi-line report."""
+        lines = [
+            f"Query {self.query_name}: {self.query_text}",
+            (
+                f"  structure: acyclic={self.acyclic} "
+                f"free-connex={self.free_connex} "
+                f"self-join-free={self.self_join_free} "
+                f"rho*={self.agm_exponent:.3f} "
+                f"star-size={self.quantified_star_size}"
+            ),
+        ]
+        if self.hard_witness:
+            lines.append(f"  hard substructure: {self.hard_witness}")
+        if self.trio_free_order is not None:
+            lines.append(
+                "  a disruptive-trio-free order: "
+                + " > ".join(self.trio_free_order)
+            )
+        for verdict in self.verdicts:
+            lines.append(verdict.render())
+        return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Counting answers to conjunctive queries (paper Section 3.2).
+
+- :func:`count_acyclic_join` — Theorem 3.8's Õ(m) counting for acyclic
+  join queries (message passing over the counting semiring);
+- :func:`count_free_connex` — Theorem 3.13's Õ(m) counting for
+  free-connex acyclic queries (free-connex reduction, then the same
+  message passing);
+- :func:`count_answers` — dispatching entry point that picks the best
+  applicable algorithm and falls back to brute-force enumeration for
+  the provably-hard cases (whose superlinearity experiment E6/E14
+  measures);
+- :mod:`repro.counting.interpolation` — the Dalmau–Jonsson
+  interpolation trick that removes the self-join-freeness requirement
+  in Theorem 3.8's lower bound.
+"""
+
+from repro.counting.algorithms import (
+    count_acyclic_join,
+    count_answers,
+    count_brute_force,
+    count_free_connex,
+)
+from repro.counting.interpolation import (
+    count_with_colors,
+    star_counts_by_interpolation,
+)
+
+__all__ = [
+    "count_acyclic_join",
+    "count_answers",
+    "count_brute_force",
+    "count_free_connex",
+    "count_with_colors",
+    "star_counts_by_interpolation",
+]

@@ -1,0 +1,14 @@
+"""Relational substrate: relations, databases, hash indexes.
+
+The machine model in the paper is a RAM with unit-cost operations; the
+natural Python analogue is tuple stores backed by hash maps.  A
+:class:`Relation` is a set of equal-arity tuples with on-demand hash
+indexes; a :class:`Database` maps relation names to relations and
+accounts for the total input size ``m`` (number of tuples), the quantity
+every runtime bound in the paper is stated in.
+"""
+
+from repro.db.database import Database
+from repro.db.relation import Relation
+
+__all__ = ["Database", "Relation"]

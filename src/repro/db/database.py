@@ -1,0 +1,115 @@
+"""The :class:`Database`: a name-indexed collection of relations.
+
+A database instance ``D`` for a query ``q`` supplies one relation per
+relation *symbol* of ``q``.  Self-joins mean several atoms can share a
+symbol and hence a relation.  The input size ``m = size(D)`` is the
+total number of tuples across relations — the parameter every runtime
+bound in the paper is stated in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.db.relation import Relation, Row, Value
+
+
+class Database:
+    """A mapping from relation names to :class:`Relation` objects."""
+
+    def __init__(
+        self, relations: Optional[Iterable[Relation]] = None
+    ) -> None:
+        self._relations: Dict[str, Relation] = {}
+        if relations is not None:
+            for rel in relations:
+                self.add_relation(rel)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Iterable[Sequence[Value]]]
+    ) -> "Database":
+        """Build a database from ``{name: iterable of tuples}``.
+
+        Arity is inferred from the first tuple of each relation; empty
+        iterables are rejected here because their arity is ambiguous
+        (use :meth:`add_relation` with an explicit arity instead).
+        """
+        db = cls()
+        for name, rows in data.items():
+            rows = [tuple(r) for r in rows]
+            if not rows:
+                raise ValueError(
+                    f"cannot infer arity of empty relation {name!r}; "
+                    "construct a Relation with explicit arity instead"
+                )
+            db.add_relation(Relation(name, len(rows[0]), rows))
+        return db
+
+    def add_relation(self, relation: Relation) -> None:
+        """Register a relation; names must be unique."""
+        if relation.name in self._relations:
+            raise ValueError(f"duplicate relation name {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def ensure_relation(self, name: str, arity: int) -> Relation:
+        """Get the named relation, creating an empty one if absent."""
+        rel = self._relations.get(name)
+        if rel is None:
+            rel = Relation(name, arity)
+            self._relations[name] = rel
+        elif rel.arity != arity:
+            raise ValueError(
+                f"relation {name!r} has arity {rel.arity}, expected {arity}"
+            )
+        return rel
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"no relation named {name!r} in database") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def names(self) -> Iterator[str]:
+        return iter(self._relations.keys())
+
+    def size(self) -> int:
+        """Total number of tuples, the ``m`` of every bound in the paper."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def active_domain(self) -> set:
+        """Union of all values appearing in any relation."""
+        dom: set = set()
+        for rel in self._relations.values():
+            dom.update(rel.active_domain())
+        return dom
+
+    def copy(self) -> "Database":
+        """Deep copy (relations are copied, indexes are not shared).
+
+        The semijoin passes of the Yannakakis algorithm mutate relations
+        in place, so algorithm entry points copy their input first to
+        keep the public API side-effect free.
+        """
+        return Database(rel.copy() for rel in self._relations.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{r.name}:{r.arity}({len(r)})" for r in self._relations.values()
+        )
+        return f"Database({parts})"

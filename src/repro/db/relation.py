@@ -1,0 +1,184 @@
+"""The :class:`Relation` tuple store.
+
+A relation is a *set* of tuples of fixed arity (set semantics, as in the
+paper).  Tuples hold hashable Python values; in experiments these are
+ints, but nothing below depends on that.
+
+Hash indexes are built lazily per column subset and cached.  An index on
+columns ``(0, 2)`` maps each projection ``(t[0], t[2])`` to the list of
+full tuples having it — the constant-time lookup structure that the
+Yannakakis algorithm, hash joins and constant-delay enumeration all
+assume from the RAM model.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+Value = object
+Row = Tuple[Value, ...]
+
+
+class Relation:
+    """A named, fixed-arity set of tuples with cached hash indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        rows: Optional[Iterable[Sequence[Value]]] = None,
+    ) -> None:
+        if arity < 0:
+            raise ValueError("arity must be non-negative")
+        self.name = name
+        self.arity = arity
+        self._rows: set = set()
+        self._indexes: Dict[Tuple[int, ...], Dict[Row, List[Row]]] = {}
+        if rows is not None:
+            self.add_all(rows)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, row: Sequence[Value]) -> None:
+        """Insert one tuple; duplicates are silently absorbed."""
+        tup = tuple(row)
+        if len(tup) != self.arity:
+            raise ValueError(
+                f"relation {self.name} has arity {self.arity}, "
+                f"got tuple of length {len(tup)}"
+            )
+        if tup not in self._rows:
+            self._rows.add(tup)
+            self._indexes.clear()
+
+    def add_all(self, rows: Iterable[Sequence[Value]]) -> None:
+        """Insert many tuples at once (single index invalidation)."""
+        before = len(self._rows)
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != self.arity:
+                raise ValueError(
+                    f"relation {self.name} has arity {self.arity}, "
+                    f"got tuple of length {len(tup)}"
+                )
+            self._rows.add(tup)
+        if len(self._rows) != before:
+            self._indexes.clear()
+
+    def discard(self, row: Sequence[Value]) -> None:
+        """Remove a tuple if present."""
+        tup = tuple(row)
+        if tup in self._rows:
+            self._rows.discard(tup)
+            self._indexes.clear()
+
+    def retain(self, predicate) -> int:
+        """Keep only tuples satisfying ``predicate``; return removed count.
+
+        This is the primitive behind semijoin reduction: the Yannakakis
+        passes repeatedly filter one relation by membership of a key in
+        another.
+        """
+        keep = {t for t in self._rows if predicate(t)}
+        removed = len(self._rows) - len(keep)
+        if removed:
+            self._rows = keep
+            self._indexes.clear()
+        return removed
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence[Value]) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.arity == other.arity and self._rows == other._rows
+
+    def __hash__(self):  # relations are mutable
+        raise TypeError("Relation objects are unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.name!r}, arity={self.arity}, size={len(self)})"
+
+    def rows(self) -> FrozenSet[Row]:
+        """A frozen snapshot of the tuple set."""
+        return frozenset(self._rows)
+
+    def is_empty(self) -> bool:
+        return not self._rows
+
+    # ------------------------------------------------------------------
+    # indexes and relational operators
+    # ------------------------------------------------------------------
+    def index(self, columns: Sequence[int]) -> Dict[Row, List[Row]]:
+        """A hash index on the given column positions (cached).
+
+        Maps each key (projection of a tuple onto ``columns``) to the
+        list of full tuples with that key.
+        """
+        cols = tuple(columns)
+        for c in cols:
+            if not 0 <= c < self.arity:
+                raise IndexError(
+                    f"column {c} out of range for arity {self.arity}"
+                )
+        cached = self._indexes.get(cols)
+        if cached is not None:
+            return cached
+        idx: Dict[Row, List[Row]] = {}
+        for tup in self._rows:
+            key = tuple(tup[c] for c in cols)
+            idx.setdefault(key, []).append(tup)
+        self._indexes[cols] = idx
+        return idx
+
+    def lookup(self, columns: Sequence[int], key: Sequence[Value]) -> List[Row]:
+        """All tuples whose projection onto ``columns`` equals ``key``."""
+        return self.index(columns).get(tuple(key), [])
+
+    def distinct_values(self, column: int) -> set:
+        """The set of values appearing in one column."""
+        return {key[0] for key in self.index((column,))}
+
+    def project(self, columns: Sequence[int], name: Optional[str] = None) -> "Relation":
+        """Projection onto column positions (set semantics)."""
+        cols = tuple(columns)
+        out = Relation(name or f"{self.name}_proj", len(cols))
+        out.add_all(tuple(t[c] for c in cols) for t in self._rows)
+        return out
+
+    def select_eq(self, column: int, value: Value) -> "Relation":
+        """Selection ``column = value``."""
+        out = Relation(f"{self.name}_sel", self.arity)
+        out.add_all(self.lookup((column,), (value,)))
+        return out
+
+    def active_domain(self) -> set:
+        """All values appearing anywhere in the relation."""
+        dom: set = set()
+        for tup in self._rows:
+            dom.update(tup)
+        return dom
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        """An independent copy (indexes are not shared)."""
+        return Relation(name or self.name, self.arity, self._rows)

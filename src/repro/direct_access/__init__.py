@@ -1,0 +1,23 @@
+"""Direct access to query answers (paper Section 3.4).
+
+Direct access simulates an array holding the sorted query result:
+after preprocessing, ``access(i)`` returns the i-th answer (raising
+:class:`IndexError` past the end, the paper's "error").
+
+- :mod:`repro.direct_access.lex` — lexicographic orders.  For acyclic
+  join queries whose order has no disruptive trio (Theorem 3.24) —
+  and more generally free-connex queries with a compatible order
+  (Corollary 3.22) — preprocessing is Õ(m) and access Õ(log m), via
+  subtree-count prefix sums over an order-compatible join tree.
+- :mod:`repro.direct_access.sum_order` — sum-of-weights orders.
+  Linear preprocessing exactly when one atom covers all variables
+  (Theorem 3.26); the general fallback materializes and sorts.
+- :mod:`repro.direct_access.testing` — the testing problem and the
+  Lemma 3.20 reduction of testing to direct access via binary search.
+"""
+
+from repro.direct_access.lex import LexDirectAccess
+from repro.direct_access.sum_order import SumOrderDirectAccess
+from repro.direct_access.testing import TestingOracle
+
+__all__ = ["LexDirectAccess", "SumOrderDirectAccess", "TestingOracle"]

@@ -1,0 +1,295 @@
+"""Order-compatible ("layered") join trees for lexicographic direct access.
+
+The direct-access algorithm of Theorem 3.24 needs a rooted,
+child-ordered join tree whose depth-first preorder spells out the
+requested variable order: each node's *own* variables (bag minus the
+separator to its parent) must appear as one contiguous block, blocks
+following the DFS preorder.  We call such a tree *layered* for the
+order.
+
+Carmeli et al. [27] prove that for acyclic join queries such a tree
+exists precisely when the order has no disruptive trio; the tests
+check that equivalence empirically on the query catalog.
+
+Join trees of an acyclic hypergraph are the maximum-weight spanning
+trees of its intersection graph (edge weight = separator size;
+Bernstein–Goodman).  Queries are constant-size, so we enumerate
+spanning trees with networkx in decreasing weight, keep the valid join
+trees, and test every rooting for layeredness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.hypergraph.jointree import JoinTree
+
+VIRTUAL_ROOT = -1
+_MAX_TREES_PER_COMPONENT = 2000
+
+
+@dataclass
+class LayeredTree:
+    """A rooted, child-ordered join tree compatible with an order.
+
+    The virtual root ``VIRTUAL_ROOT`` has an empty bag and the real
+    roots as children, so forests are handled uniformly.  ``own`` maps
+    each node to its own-variable block, in the requested order.
+    """
+
+    parent: Dict[int, Optional[int]]
+    children: Dict[int, List[int]]
+    own: Dict[int, Tuple[str, ...]]
+    preorder: List[int]
+
+    @property
+    def root(self) -> int:
+        return VIRTUAL_ROOT
+
+
+def candidate_join_trees(
+    bags: Dict[int, FrozenSet[str]],
+) -> List[JoinTree]:
+    """All join trees/forests of an acyclic bag family (small inputs).
+
+    Per connected component of the intersection graph, spanning trees
+    are enumerated in decreasing weight; once a valid join tree is
+    found, enumeration stops at the first strictly lighter tree (valid
+    join trees all have maximum weight).  Components are then combined.
+    """
+    nodes = sorted(bags)
+    graph = nx.Graph()
+    graph.add_nodes_from(nodes)
+    for i in nodes:
+        for j in nodes:
+            if i < j and bags[i] & bags[j]:
+                graph.add_edge(i, j, weight=len(bags[i] & bags[j]))
+
+    component_options: List[List[Dict[int, int]]] = []
+    for component in nx.connected_components(graph):
+        sub = graph.subgraph(component).copy()
+        if sub.number_of_nodes() == 1:
+            component_options.append([{}])
+            continue
+        options: List[Dict[int, int]] = []
+        valid_weight: Optional[int] = None
+        count = 0
+        for tree in nx.SpanningTreeIterator(sub, weight="weight", minimum=False):
+            count += 1
+            if count > _MAX_TREES_PER_COMPONENT:
+                break
+            weight = sum(d["weight"] for _, _, d in tree.edges(data=True))
+            if valid_weight is not None and weight < valid_weight:
+                break
+            root = min(tree.nodes)
+            parent: Dict[int, int] = {
+                child: par for child, par in nx.bfs_predecessors(tree, root)
+            }
+            candidate = JoinTree(
+                bags={n: bags[n] for n in tree.nodes}, parent=parent
+            )
+            try:
+                candidate.validate()
+            except ValueError:
+                continue
+            valid_weight = weight
+            options.append(parent)
+        if not options:
+            return []
+        component_options.append(options)
+
+    results: List[JoinTree] = []
+
+    def build(index: int, merged: Dict[int, int]) -> None:
+        if index == len(component_options):
+            results.append(JoinTree(bags=dict(bags), parent=dict(merged)))
+            return
+        for option in component_options[index]:
+            merged.update(option)
+            build(index + 1, merged)
+            for key in option:
+                del merged[key]
+
+    build(0, {})
+    return results
+
+
+def _try_layout(
+    bags: Dict[int, FrozenSet[str]],
+    parent: Dict[int, Optional[int]],
+    variable_order: Sequence[str],
+) -> Optional[LayeredTree]:
+    """Lay a rooted forest out along ``variable_order``.
+
+    Simulates a DFS: nodes open when their first own variable arrives
+    (implicitly opening empty-block ancestors), blocks must run
+    contiguously and in order, and a node's parent must still be on
+    the active DFS path when the node opens.  Returns None on any
+    violation.
+    """
+    position = {v: i for i, v in enumerate(variable_order)}
+    own: Dict[int, List[str]] = {}
+    owner: Dict[str, int] = {}
+    for node, bag in bags.items():
+        par = parent[node]
+        sep = bag & bags[par] if par is not None else frozenset()
+        block = sorted(bag - sep, key=position.get)
+        own[node] = block
+        for v in block:
+            owner[v] = node
+
+    full_parent: Dict[int, Optional[int]] = dict(parent)
+    for node, par in list(full_parent.items()):
+        if par is None:
+            full_parent[node] = VIRTUAL_ROOT
+    full_parent[VIRTUAL_ROOT] = None
+    own[VIRTUAL_ROOT] = []
+
+    opened = {VIRTUAL_ROOT}
+    active: List[int] = [VIRTUAL_ROOT]
+    preorder: List[int] = [VIRTUAL_ROOT]
+    children: Dict[int, List[int]] = {n: [] for n in bags}
+    children[VIRTUAL_ROOT] = []
+    progress: Dict[int, int] = {n: 0 for n in bags}
+    current: Optional[int] = None
+
+    def open_node(node: int) -> None:
+        opened.add(node)
+        active.append(node)
+        preorder.append(node)
+        children[full_parent[node]].append(node)
+
+    for v in variable_order:
+        node = owner[v]
+        if node == current:
+            if own[node][progress[node]] != v:
+                return None
+            progress[node] += 1
+            continue
+        if node in opened:
+            return None  # revisiting a block that was already left
+        # Chain of unopened ancestors up to the nearest opened one.
+        chain: List[int] = []
+        walk: Optional[int] = node
+        while walk is not None and walk not in opened:
+            chain.append(walk)
+            walk = full_parent[walk]
+        anchor = walk  # first opened ancestor (at least VIRTUAL_ROOT)
+        for ancestor in chain[1:]:
+            if own[ancestor]:
+                return None  # its block should have come first
+        if anchor not in active:
+            return None  # anchor's subtree was already exited
+        while active[-1] != anchor:
+            active.pop()
+        for member in reversed(chain):
+            open_node(member)
+        current = node
+        if own[node][0] != v:
+            return None
+        progress[node] = 1
+
+    for node, block in own.items():
+        if node != VIRTUAL_ROOT and progress.get(node, 0) != len(block):
+            return None  # pragma: no cover - defensive
+    # Attach leftover empty-block nodes (pure filters); their position
+    # among siblings does not affect the answer order.
+    remaining = [n for n in sorted(bags) if n not in opened]
+    while remaining:
+        stalled = True
+        for node in list(remaining):
+            if full_parent[node] in opened:
+                opened.add(node)
+                preorder.append(node)
+                children[full_parent[node]].append(node)
+                remaining.remove(node)
+                stalled = False
+        if stalled:  # pragma: no cover - defensive
+            return None
+    return LayeredTree(
+        parent=full_parent,
+        children=children,
+        own={n: tuple(b) for n, b in own.items()},
+        preorder=preorder,
+    )
+
+
+def _rootings(tree: JoinTree) -> List[Dict[int, Optional[int]]]:
+    """All rooted orientations of a join forest (one root per tree)."""
+    adjacency: Dict[int, List[int]] = {n: [] for n in tree.bags}
+    for child, par in tree.parent.items():
+        adjacency[child].append(par)
+        adjacency[par].append(child)
+    seen: set = set()
+    components: List[List[int]] = []
+    for start in sorted(tree.bags):
+        if start in seen:
+            continue
+        stack = [start]
+        component: List[int] = []
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            component.append(node)
+            stack.extend(adjacency[node])
+        components.append(sorted(component))
+
+    per_component: List[List[Dict[int, Optional[int]]]] = []
+    for component in components:
+        options: List[Dict[int, Optional[int]]] = []
+        for root in component:
+            parent: Dict[int, Optional[int]] = {root: None}
+            stack = [root]
+            visited = {root}
+            while stack:
+                node = stack.pop()
+                for nbr in adjacency[node]:
+                    if nbr not in visited:
+                        visited.add(nbr)
+                        parent[nbr] = node
+                        stack.append(nbr)
+            options.append(parent)
+        per_component.append(options)
+
+    results: List[Dict[int, Optional[int]]] = []
+
+    def build(index: int, merged: Dict[int, Optional[int]]) -> None:
+        if index == len(per_component):
+            results.append(dict(merged))
+            return
+        for option in per_component[index]:
+            merged.update(option)
+            build(index + 1, merged)
+
+    build(0, {})
+    return results
+
+
+def find_layered_tree(
+    bags: Dict[int, FrozenSet[str]],
+    variable_order: Sequence[str],
+) -> Optional[LayeredTree]:
+    """A layered join tree for the order, or None when none exists.
+
+    Tries every (maximum-weight, valid) join tree and every rooting;
+    exponential in the constant query size only.
+    """
+    order = list(variable_order)
+    all_vars = set()
+    for bag in bags.values():
+        all_vars |= bag
+    if set(order) != all_vars or len(order) != len(set(order)):
+        raise ValueError(
+            "variable order must be a permutation of the bag variables"
+        )
+    for tree in candidate_join_trees(bags):
+        for rooting in _rootings(tree):
+            layered = _try_layout(dict(bags), rooting, order)
+            if layered is not None:
+                return layered
+    return None

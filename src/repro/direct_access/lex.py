@@ -1,0 +1,292 @@
+"""Lexicographic direct access (paper Theorems 3.18/3.24, Cor. 3.22).
+
+For a free-connex acyclic query (join queries included) and a variable
+order admitting a layered join tree — equivalently, by [27], an order
+with no disruptive trio — preprocessing is Õ(m) and each access costs
+Õ(log m):
+
+1. reduce to an acyclic join query over the free variables
+   (:func:`repro.joins.fc_reduce.free_connex_reduce`);
+2. find a layered join tree for the order
+   (:mod:`repro.direct_access.layered`);
+3. bottom-up, count each tuple's extensions in its subtree, and store,
+   per (node, parent-separator key), the tuples sorted by their own
+   variables with prefix sums of those counts;
+4. ``access(i)`` descends the tree, selecting each node's tuple by
+   binary search in the prefix sums and splitting the residual index
+   across the children blocks mixed-radix style.
+
+When no layered tree exists (a disruptive trio), the ``strict=False``
+fallback materializes and sorts the whole result — the superlinear
+preprocessing that Lemma 3.23 proves necessary.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db.database import Database
+from repro.direct_access.layered import (
+    VIRTUAL_ROOT,
+    LayeredTree,
+    find_layered_tree,
+)
+from repro.hypergraph.freeconnex import is_free_connex
+from repro.joins.fc_reduce import free_connex_reduce
+from repro.joins.generic_join import generic_join
+from repro.query.cq import ConjunctiveQuery
+
+Row = Tuple[object, ...]
+
+
+class _NodeStore:
+    """Per-node access structures: grouped, sorted, prefix-summed."""
+
+    __slots__ = ("groups", "sep_positions", "own_positions")
+
+    def __init__(self) -> None:
+        # key -> (sorted own projections, rows, cumulative counts)
+        self.groups: Dict[Row, Tuple[List[Row], List[Row], List[int]]] = {}
+        self.sep_positions: Tuple[int, ...] = ()
+        self.own_positions: Tuple[int, ...] = ()
+
+    def total(self, key: Row) -> int:
+        group = self.groups.get(key)
+        return group[2][-1] if group else 0
+
+
+class LexDirectAccess:
+    """Direct access to query answers under a lexicographic order.
+
+    ``order`` lists the free variables, most significant first.
+    Answers are returned as tuples in *head* order; their ranking
+    follows ``order``.  ``access(i)`` raises :class:`IndexError` when
+    ``i`` is past the last answer (the paper's "error" convention).
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        db: Database,
+        order: Optional[Sequence[str]] = None,
+        strict: bool = True,
+    ) -> None:
+        self.query = query
+        self.head = tuple(query.head)
+        if not self.head:
+            raise ValueError("Boolean queries have no answers to access")
+        self.order: Tuple[str, ...] = (
+            tuple(order) if order is not None else self.head
+        )
+        if sorted(self.order) != sorted(self.head):
+            raise ValueError(
+                "order must be a permutation of the head variables"
+            )
+        self.mode = "layered"
+        self._materialized: Optional[List[Row]] = None
+        self._count = 0
+
+        layered: Optional[LayeredTree] = None
+        reduced = None
+        if is_free_connex(query):
+            reduced = free_connex_reduce(query, db)
+            if reduced.is_empty:
+                self._layered = None
+                self._stores: Dict[int, _NodeStore] = {}
+                return
+            bags = {
+                node: frozenset(frame.variables)
+                for node, frame in reduced.frames.items()
+            }
+            layered = find_layered_tree(bags, self.order)
+        if layered is None:
+            if strict:
+                raise ValueError(
+                    f"query {query.name} admits no layered join tree for "
+                    f"order {self.order} (disruptive trio or not "
+                    "free-connex); pass strict=False for the "
+                    "materializing fallback"
+                )
+            self.mode = "materialized"
+            self._materialize(db)
+            return
+        self._layered = layered
+        self._reduced = reduced
+        self._build_stores()
+
+    # ------------------------------------------------------------------
+    # preprocessing
+    # ------------------------------------------------------------------
+    def _materialize(self, db: Database) -> None:
+        key_positions = [self.head.index(v) for v in self.order]
+        answers = list(generic_join(self.query, db))
+        answers.sort(key=lambda row: tuple(row[p] for p in key_positions))
+        self._materialized = answers
+        self._count = len(answers)
+
+    def _build_stores(self) -> None:
+        layered = self._layered
+        reduced = self._reduced
+        assert layered is not None and reduced is not None
+        order_rank = {v: i for i, v in enumerate(self.order)}
+        stores: Dict[int, _NodeStore] = {}
+        # Bottom-up over the layered tree: reversed preorder works
+        # because preorder parents precede children.
+        subtotal: Dict[int, Dict[Row, int]] = {}
+        for node in reversed(layered.preorder):
+            if node == VIRTUAL_ROOT:
+                continue
+            frame = reduced.frames[node]
+            parent = layered.parent[node]
+            if parent == VIRTUAL_ROOT:
+                sep_vars: Tuple[str, ...] = ()
+            else:
+                parent_vars = reduced.frames[parent].variables
+                sep_vars = tuple(
+                    v for v in frame.variables if v in parent_vars
+                )
+            own_vars = layered.own[node]
+            store = _NodeStore()
+            store.sep_positions = frame.positions(sep_vars)
+            store.own_positions = frame.positions(own_vars)
+            child_stores = [
+                (child, stores[child]) for child in layered.children[node]
+            ]
+            grouped: Dict[Row, List[Tuple[Row, Row, int]]] = {}
+            for row in frame.rows:
+                count = 1
+                for child, child_store in child_stores:
+                    child_frame = reduced.frames[child]
+                    child_sep = tuple(
+                        v
+                        for v in child_frame.variables
+                        if v in frame.variables
+                    )
+                    key = tuple(
+                        row[p] for p in frame.positions(child_sep)
+                    )
+                    count *= child_store.total(key)
+                    if not count:
+                        break
+                if not count:
+                    # Cannot happen after full reduction; kept so that
+                    # unreduced inputs still yield correct results.
+                    continue
+                sep_key = tuple(row[p] for p in store.sep_positions)
+                own_key = tuple(row[p] for p in store.own_positions)
+                grouped.setdefault(sep_key, []).append(
+                    (own_key, row, count)
+                )
+            for sep_key, entries in grouped.items():
+                entries.sort(key=lambda e: e[0])
+                own_keys = [e[0] for e in entries]
+                rows = [e[1] for e in entries]
+                cumulative: List[int] = []
+                running = 0
+                for _, _, count in entries:
+                    running += count
+                    cumulative.append(running)
+                store.groups[sep_key] = (own_keys, rows, cumulative)
+            stores[node] = store
+        self._stores = stores
+        total = 1
+        for child in layered.children[VIRTUAL_ROOT]:
+            total *= stores[child].total(())
+        self._count = total if layered.children[VIRTUAL_ROOT] else 0
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def access(self, index: int) -> Row:
+        """The answer at ``index`` (0-based) in the lexicographic order."""
+        if index < 0 or index >= self._count:
+            raise IndexError(
+                f"index {index} out of range for {self._count} answers"
+            )
+        if self.mode == "materialized":
+            assert self._materialized is not None
+            return self._materialized[index]
+        head_pos = {v: i for i, v in enumerate(self.head)}
+        assignment: List[object] = [None] * len(self.head)
+        # _select assigns each node's row and recurses; kick off at the
+        # virtual root with the full index.
+        self._descend_children(VIRTUAL_ROOT, index, assignment, head_pos)
+        return tuple(assignment)
+
+    def _select(
+        self,
+        node: int,
+        index: int,
+        assignment: List[object],
+        head_pos: Dict[str, int],
+    ) -> None:
+        layered = self._layered
+        reduced = self._reduced
+        assert layered is not None and reduced is not None
+        store = self._stores[node]
+        parent = layered.parent[node]
+        if parent == VIRTUAL_ROOT:
+            key: Row = ()
+        else:
+            frame = reduced.frames[node]
+            parent_vars = reduced.frames[parent].variables
+            sep_vars = tuple(
+                v for v in frame.variables if v in parent_vars
+            )
+            key = tuple(assignment[head_pos[v]] for v in sep_vars)
+        own_keys, rows, cumulative = store.groups[key]
+        slot = bisect_right(cumulative, index)
+        previous = cumulative[slot - 1] if slot else 0
+        row = rows[slot]
+        frame = reduced.frames[node]
+        for position, variable in enumerate(frame.variables):
+            assignment[head_pos[variable]] = row[position]
+        residual = index - previous
+        # Recurse into this node's children with the leftover index.
+        self._descend_children(node, residual, assignment, head_pos)
+
+    def _descend_children(
+        self,
+        node: int,
+        residual: int,
+        assignment: List[object],
+        head_pos: Dict[str, int],
+    ) -> None:
+        layered = self._layered
+        reduced = self._reduced
+        assert layered is not None and reduced is not None
+        children = layered.children[node]
+        if not children:
+            return
+        sizes: List[int] = []
+        for child in children:
+            if node == VIRTUAL_ROOT:
+                key: Row = ()
+            else:
+                child_frame = reduced.frames[child]
+                parent_frame = reduced.frames[node]
+                sep_vars = tuple(
+                    v for v in child_frame.variables
+                    if v in parent_frame.variables
+                )
+                key = tuple(assignment[head_pos[v]] for v in sep_vars)
+            sizes.append(self._stores[child].total(key))
+        suffix_products = [1] * (len(children) + 1)
+        for j in range(len(children) - 1, -1, -1):
+            suffix_products[j] = suffix_products[j + 1] * sizes[j]
+        for j, child in enumerate(children):
+            radix = suffix_products[j + 1]
+            child_index = residual // radix
+            residual = residual % radix
+            self._select(child, child_index, assignment, head_pos)
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def materialize(self) -> List[Row]:
+        """All answers in order (test helper; output-sized)."""
+        return [self.access(i) for i in range(self._count)]

@@ -1,0 +1,145 @@
+"""Direct access under sum-of-weights orders (paper Section 3.4.2).
+
+Each domain value gets a weight; an answer's weight is the sum of its
+entries' weights, and the simulated array is sorted by answer weight.
+Theorem 3.26: an acyclic self-join-free join query admits linear
+preprocessing iff some atom contains *all* variables — then the
+(reduced) covering relation *is* the answer set, and sorting it is the
+whole preprocessing.  Otherwise two variables share no atom, Lemma 3.25
+embeds 3SUM, and superlinear preprocessing is unavoidable — realized
+here by the materializing fallback the benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.db.database import Database
+from repro.hypergraph.gyo import is_acyclic, join_tree
+from repro.joins.generic_join import generic_join
+from repro.joins.semijoin import atom_frames, full_reducer_pass
+from repro.query.cq import ConjunctiveQuery
+
+Row = Tuple[object, ...]
+WeightMap = Mapping[object, float]
+
+
+def covering_atom_index(query: ConjunctiveQuery) -> Optional[int]:
+    """Index of an atom whose scope contains every variable, if any."""
+    all_vars = query.variables
+    for i, atom in enumerate(query.atoms):
+        if atom.scope >= all_vars:
+            return i
+    return None
+
+
+def uncovered_pair(query: ConjunctiveQuery) -> Optional[Tuple[str, str]]:
+    """Two variables sharing no atom (Lemma 3.25's hardness pattern).
+
+    For acyclic join queries, exists iff there is no covering atom
+    (via minimum edge cover = maximum independent set on acyclic
+    hypergraphs, [39, Lemma 19]).
+    """
+    variables = sorted(query.variables)
+    for i, x in enumerate(variables):
+        for y in variables[i + 1 :]:
+            if not any(
+                x in atom.scope and y in atom.scope for atom in query.atoms
+            ):
+                return (x, y)
+    return None
+
+
+class SumOrderDirectAccess:
+    """Direct access by sum-of-weights order.
+
+    ``weights`` maps domain values to numbers (missing values weigh 0).
+    For join queries with a covering atom the preprocessing is
+    Õ(m log m): reduce, then sort the covering relation.  Otherwise
+    (``strict=False``) the full result is materialized and sorted.
+    Ties are broken by the tuple itself so the order is total and
+    deterministic.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        db: Database,
+        weights: WeightMap,
+        strict: bool = True,
+    ) -> None:
+        if not query.is_join_query():
+            raise ValueError(
+                "sum-order direct access is defined for join queries here "
+                "(the paper's Section 3.4.2 restriction)"
+            )
+        self.query = query
+        self.head = tuple(query.head)
+        self.weights = dict(weights)
+        cover = covering_atom_index(query)
+        if cover is not None and is_acyclic(query.hypergraph()):
+            self.mode = "covering"
+            answers = self._reduced_covering_rows(query, db, cover)
+        elif strict:
+            pair = uncovered_pair(query)
+            raise ValueError(
+                f"query {query.name} has no covering atom (e.g. variables "
+                f"{pair} share no atom); by Theorem 3.26 linear "
+                "preprocessing is impossible — pass strict=False for the "
+                "materializing fallback"
+            )
+        else:
+            self.mode = "materialized"
+            answers = list(generic_join(query, db))
+        self._answers: List[Row] = answers
+        self._keys: List[float] = []
+        decorated = [
+            (self.answer_weight(row), row) for row in self._answers
+        ]
+        decorated.sort()
+        self._answers = [row for _, row in decorated]
+        self._keys = [weight for weight, _ in decorated]
+
+    def _reduced_covering_rows(
+        self, query: ConjunctiveQuery, db: Database, cover: int
+    ) -> List[Row]:
+        tree = join_tree(query.hypergraph())
+        reduced = full_reducer_pass(
+            dict(enumerate(atom_frames(query, db))), tree
+        )
+        frame = reduced[cover]
+        return [
+            tuple(row[p] for p in frame.positions(self.head))
+            for row in frame.rows
+        ]
+
+    # ------------------------------------------------------------------
+    # the direct access interface
+    # ------------------------------------------------------------------
+    def answer_weight(self, row: Sequence[object]) -> float:
+        """Sum of the entry weights of an answer tuple."""
+        return sum(self.weights.get(value, 0.0) for value in row)
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    def access(self, index: int) -> Row:
+        """The index-th lightest answer (IndexError past the end)."""
+        if index < 0 or index >= len(self._answers):
+            raise IndexError(
+                f"index {index} out of range for {len(self._answers)} answers"
+            )
+        return self._answers[index]
+
+    def has_weight(self, target: float, tolerance: float = 0.0) -> bool:
+        """Is there an answer of total weight ``target``?
+
+        Binary search over the sorted weights — O(log n), the probe the
+        3SUM reduction of Lemma 3.25 performs for every c ∈ C.
+        """
+        slot = bisect_left(self._keys, target - tolerance)
+        return (
+            slot < len(self._keys)
+            and self._keys[slot] <= target + tolerance
+        )

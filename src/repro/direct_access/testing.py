@@ -1,0 +1,86 @@
+"""The testing problem for conjunctive queries (paper Section 3.4.1).
+
+After preprocessing the database, the algorithm must answer membership
+queries "is this tuple an answer?".  Lemma 3.20 reduces testing to
+lexicographic direct access by binary search over the simulated array
+(a log(M) factor, M ≤ the maximum result size); Lemma 3.21 shows that
+for q*_2 no linear-preprocessing / constant-time tester exists under
+the Triangle Hypothesis — which is why the fallback here materializes
+a hash set (superlinear preprocessing, then O(1) tests), the behaviour
+experiment E9 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set, Tuple
+
+from repro.db.database import Database
+from repro.direct_access.lex import LexDirectAccess
+from repro.joins.generic_join import generic_join
+from repro.query.cq import ConjunctiveQuery
+
+Row = Tuple[object, ...]
+
+
+class TestingOracle:
+    """Membership testing via direct access (Lemma 3.20) or hashing.
+
+    ``mode="direct-access"`` builds a :class:`LexDirectAccess` in the
+    head order and answers each test with O(log |result|) accesses —
+    this needs a layered tree (free-connex + trio-free order).
+    ``mode="hash"`` materializes the answer set (cost: full evaluation)
+    and tests in O(1).  Default: direct access when available, else
+    hash.
+    """
+
+    __test__ = False  # "Testing" is the paper's problem name, not a pytest class
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        db: Database,
+        mode: Optional[str] = None,
+    ) -> None:
+        if query.is_boolean():
+            raise ValueError("testing a Boolean query is just deciding it")
+        self.query = query
+        self.head = tuple(query.head)
+        self.accesses = 0  # probe counter, reported by the benchmarks
+        if mode not in (None, "direct-access", "hash"):
+            raise ValueError(f"unknown testing mode {mode!r}")
+        self._da: Optional[LexDirectAccess] = None
+        self._set: Optional[Set[Row]] = None
+        if mode in (None, "direct-access"):
+            try:
+                self._da = LexDirectAccess(query, db, order=self.head)
+                self.mode = "direct-access"
+                return
+            except ValueError:
+                if mode == "direct-access":
+                    raise
+        self.mode = "hash"
+        self._set = set(generic_join(query, db))
+
+    def test(self, row: Sequence[object]) -> bool:
+        """Is ``row`` (in head order) an answer?"""
+        tup = tuple(row)
+        if len(tup) != len(self.head):
+            raise ValueError(
+                f"expected a tuple of width {len(self.head)}, got {tup}"
+            )
+        if self.mode == "hash":
+            assert self._set is not None
+            return tup in self._set
+        assert self._da is not None
+        low, high = 0, len(self._da) - 1
+        while low <= high:
+            mid = (low + high) // 2
+            self.accesses += 1
+            candidate = self._da.access(mid)
+            if candidate == tup:
+                return True
+            if candidate < tup:
+                low = mid + 1
+            else:
+                high = mid - 1
+        return False

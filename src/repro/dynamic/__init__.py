@@ -1,0 +1,14 @@
+"""Query evaluation under updates (survey conclusion, [15]).
+
+The paper's conclusion points to the dynamic-evaluation dichotomy of
+Berkholz–Keppeler–Schweikardt: constant-time updates are possible
+exactly for q-hierarchical queries.  This package implements the
+tractable side for hierarchical *join* queries:
+:class:`HierarchicalCountMaintainer` keeps the answer count current
+under single-tuple inserts and deletes with O(|q|) dictionary work per
+update — constant in data complexity.
+"""
+
+from repro.dynamic.hierarchical_count import HierarchicalCountMaintainer
+
+__all__ = ["HierarchicalCountMaintainer"]

@@ -1,0 +1,278 @@
+"""Constant-time-per-update counting for hierarchical join queries.
+
+Structure.  In a hierarchical query the variables partition into
+classes with identical atom sets; ordering classes by strict
+containment of their atom sets yields a forest, and every atom's scope
+is exactly the class-path from a root to the atom's deepest class (a
+consequence of comparability within atoms).  This is the "variable
+tree" underlying [15]'s data structure.
+
+Counting decomposition.  For a class node v and an assignment α of the
+classes on the path from v's root down to v:
+
+    f_v(α) = Π_{atoms ending at v} [α's values form a tuple of R_A]
+             × Π_{children c of v} g_c(α),
+    g_c(α) = Σ_{values a of class c} f_c(α · a),
+
+and the total count is Π_{roots r} Σ_a f_r(a).
+
+Updates.  Inserting or deleting one tuple of an atom A only changes
+f/g entries along A's class path (the tuple fixes α completely at
+every node on it), so one update costs O(depth × fan-out) dictionary
+operations — constant in the data.  No division is needed: each f on
+the path is *recomputed* from its O(|q|) factors, and the change is
+propagated to the parent's g as a difference.
+
+The maintainer supports self-joins (one physical relation feeding
+several atoms: each atom's path is refreshed) and any mix of inserts
+and deletes.  Restriction: join queries only (the count of *projected*
+q-hierarchical queries under updates needs the distinct-count layer of
+[15], out of scope here; the classifier reports the predicate for
+those).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hierarchical import atom_sets, is_hierarchical
+from repro.query.cq import ConjunctiveQuery
+
+Key = Tuple
+Row = Tuple[object, ...]
+
+
+class _ClassNode:
+    """One equivalence class of variables in the variable forest."""
+
+    __slots__ = (
+        "index",
+        "variables",
+        "parent",
+        "children",
+        "ending_atoms",
+        "f",
+        "g",
+    )
+
+    def __init__(self, index: int, variables: Tuple[str, ...]) -> None:
+        self.index = index
+        self.variables = variables  # sorted tuple
+        self.parent: Optional[int] = None
+        self.children: List[int] = []
+        self.ending_atoms: List[int] = []
+        # f: full path-key (values of all classes root..self) -> count
+        self.f: Dict[Key, int] = {}
+        # g: parent path-key -> sum of f over this class's values
+        self.g: Dict[Key, int] = {}
+
+
+class HierarchicalCountMaintainer:
+    """Maintain |q(D)| for a hierarchical join query under updates."""
+
+    def __init__(self, query: ConjunctiveQuery) -> None:
+        if not query.is_join_query():
+            raise ValueError(
+                "the maintainer counts join queries; projected "
+                "q-hierarchical counting needs [15]'s distinct layer"
+            )
+        if not is_hierarchical(query):
+            raise ValueError(
+                f"query {query.name} is not hierarchical; by [15] no "
+                "constant-update-time counter exists (under OMv)"
+            )
+        self.query = query
+        self._build_forest()
+        self._relations: Dict[str, set] = {
+            symbol: set() for symbol in query.relation_symbols
+        }
+
+    # ------------------------------------------------------------------
+    # structure construction
+    # ------------------------------------------------------------------
+    def _build_forest(self) -> None:
+        query = self.query
+        sets = atom_sets(query)
+        # Equivalence classes by atom set.
+        by_atoms: Dict[FrozenSet[int], List[str]] = {}
+        for variable, atoms in sets.items():
+            by_atoms.setdefault(atoms, []).append(variable)
+        classes = sorted(
+            (
+                (atoms, tuple(sorted(variables)))
+                for atoms, variables in by_atoms.items()
+            ),
+            key=lambda item: (-len(item[0]), item[1]),
+        )
+        self.nodes: List[_ClassNode] = [
+            _ClassNode(i, variables)
+            for i, (_, variables) in enumerate(classes)
+        ]
+        self._class_atoms: List[FrozenSet[int]] = [
+            atoms for atoms, _ in classes
+        ]
+        # Parent: the smallest strictly-containing class.
+        for i, atoms in enumerate(self._class_atoms):
+            best: Optional[int] = None
+            for j, other in enumerate(self._class_atoms):
+                if i != j and atoms < other:
+                    if best is None or other < self._class_atoms[best]:
+                        best = j
+            if best is not None:
+                self.nodes[i].parent = best
+                self.nodes[best].children.append(i)
+        self.roots: List[int] = [
+            node.index for node in self.nodes if node.parent is None
+        ]
+        # Atoms end at their deepest (fewest-superset, i.e. smallest
+        # atom-set is wrong — deepest = the class whose atom set is
+        # minimal among the atom's classes).
+        self._atom_path: List[List[int]] = []
+        self._atom_positions: List[Dict[str, int]] = []
+        for atom_index, atom in enumerate(query.atoms):
+            atom_classes = sorted(
+                {
+                    self._class_of_variable(v) for v in atom.scope
+                },
+                key=lambda c: len(self._class_atoms[c]),
+            )
+            deepest = atom_classes[0]
+            self.nodes[deepest].ending_atoms.append(atom_index)
+            self._atom_path.append(self._path_to_root(deepest))
+            positions = {}
+            for pos, variable in enumerate(atom.variables):
+                positions.setdefault(variable, pos)
+            self._atom_positions.append(positions)
+
+    def _class_of_variable(self, variable: str) -> int:
+        for node in self.nodes:
+            if variable in node.variables:
+                return node.index
+        raise KeyError(variable)  # pragma: no cover - construction bug
+
+    def _path_to_root(self, node_index: int) -> List[int]:
+        """Class indices from the root down to ``node_index``."""
+        path = []
+        current: Optional[int] = node_index
+        while current is not None:
+            path.append(current)
+            current = self.nodes[current].parent
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, relation: str, row: Sequence[object]) -> None:
+        """Insert one tuple (no-op if already present)."""
+        row = tuple(row)
+        self._check(relation, row)
+        if row in self._relations[relation]:
+            return
+        self._relations[relation].add(row)
+        self._refresh_paths(relation, row)
+
+    def delete(self, relation: str, row: Sequence[object]) -> None:
+        """Delete one tuple (no-op if absent)."""
+        row = tuple(row)
+        self._check(relation, row)
+        if row not in self._relations[relation]:
+            return
+        self._relations[relation].discard(row)
+        self._refresh_paths(relation, row)
+
+    def _check(self, relation: str, row: Row) -> None:
+        if relation not in self._relations:
+            raise KeyError(f"query has no relation {relation!r}")
+        arity = next(
+            a.arity
+            for a in self.query.atoms
+            if a.relation == relation
+        )
+        if len(row) != arity:
+            raise ValueError(
+                f"relation {relation!r} has arity {arity}, got {row}"
+            )
+
+    def _refresh_paths(self, relation: str, row: Row) -> None:
+        """Recompute f/g along every affected atom's class path."""
+        for atom_index, atom in enumerate(self.query.atoms):
+            if atom.relation != relation:
+                continue
+            path = self._atom_path[atom_index]
+            positions = self._atom_positions[atom_index]
+            # The tuple fixes the value of every class on the path.
+            values: Dict[int, Key] = {}
+            for class_index in path:
+                node = self.nodes[class_index]
+                values[class_index] = tuple(
+                    row[positions[v]] for v in node.variables
+                )
+            # Bottom-up refresh from the deepest class.
+            for class_index in reversed(path):
+                self._recompute_f(class_index, values)
+
+    def _path_key(
+        self, class_index: int, values: Dict[int, Key]
+    ) -> Key:
+        path = self._path_to_root(class_index)
+        return tuple(values[c] for c in path)
+
+    def _recompute_f(
+        self, class_index: int, values: Dict[int, Key]
+    ) -> None:
+        node = self.nodes[class_index]
+        key = self._path_key(class_index, values)
+        new_value = 1
+        for atom_index in node.ending_atoms:
+            atom = self.query.atoms[atom_index]
+            positions = self._atom_positions[atom_index]
+            # Reconstruct the atom tuple from the class values.
+            lookup: Dict[str, object] = {}
+            for c in self._path_to_root(class_index):
+                for variable, value in zip(
+                    self.nodes[c].variables, values[c]
+                ):
+                    lookup[variable] = value
+            candidate = tuple(lookup[v] for v in atom.variables)
+            if candidate not in self._relations[atom.relation]:
+                new_value = 0
+                break
+        if new_value:
+            for child in node.children:
+                new_value *= self.nodes[child].g.get(key, 0)
+                if not new_value:
+                    break
+        old_value = node.f.get(key, 0)
+        delta = new_value - old_value
+        if not delta:
+            return
+        if new_value:
+            node.f[key] = new_value
+        else:
+            node.f.pop(key, None)
+        # Propagate into the parent-facing g (or the root sums).
+        parent_key = key[:-1]
+        g_value = node.g.get(parent_key, 0) + delta
+        if g_value:
+            node.g[parent_key] = g_value
+        else:
+            node.g.pop(parent_key, None)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """The current number of answers, in O(#roots)."""
+        total = 1
+        for root in self.roots:
+            total *= self.nodes[root].g.get((), 0)
+            if not total:
+                return 0
+        return total
+
+    def load(self, db) -> None:
+        """Bulk-load a database (m single-tuple inserts, O(m) total)."""
+        for symbol in self.query.relation_symbols:
+            for row in db[symbol]:
+                self.insert(symbol, row)

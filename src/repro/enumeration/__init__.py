@@ -1,0 +1,14 @@
+"""Constant-delay enumeration (paper Section 3.3).
+
+:class:`ConstantDelayEnumerator` realizes the upper bound of Theorem
+3.17: for free-connex acyclic queries, after O(m) preprocessing the
+answers stream with delay independent of the database.  The
+:mod:`repro.enumeration.delay` helpers instrument actual delays so the
+benchmark harness can verify flatness in m (and watch the fallback path
+for non-free-connex queries blow up, as Theorems 3.15/3.16 predict).
+"""
+
+from repro.enumeration.constant_delay import ConstantDelayEnumerator
+from repro.enumeration.delay import DelayProfile, measure_delays
+
+__all__ = ["ConstantDelayEnumerator", "DelayProfile", "measure_delays"]

@@ -1,0 +1,73 @@
+"""Delay instrumentation for enumeration algorithms.
+
+The enumeration model separates *preprocessing time* from *delay* (the
+maximum time between consecutive answers).  :func:`measure_delays`
+captures both so the benchmark harness can plot max-delay against
+database size: flat for free-connex queries (Theorem 3.17), growing for
+the materializing fallback.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class DelayProfile:
+    """Timing profile of one enumeration run."""
+
+    preprocessing_seconds: float
+    delays: List[float]
+    answers: int
+
+    @property
+    def max_delay(self) -> float:
+        return max(self.delays) if self.delays else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        return (
+            sum(self.delays) / len(self.delays) if self.delays else 0.0
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"preprocess={self.preprocessing_seconds:.4f}s "
+            f"answers={self.answers} max_delay={self.max_delay * 1e6:.1f}µs"
+        )
+
+
+def measure_delays(
+    make_enumerator: Callable[[], Iterable],
+    limit: Optional[int] = None,
+) -> DelayProfile:
+    """Time preprocessing and per-answer delays.
+
+    ``make_enumerator`` runs the preprocessing and returns an iterable
+    of answers (e.g. ``lambda: ConstantDelayEnumerator(q, db)``).
+    ``limit`` truncates the enumeration — delays are a per-answer
+    quantity, so a prefix is a valid sample and keeps large-output
+    experiments affordable.
+    """
+    start = time.perf_counter()
+    enumerator = make_enumerator()
+    iterator = iter(enumerator)
+    preprocessing = time.perf_counter() - start
+
+    delays: List[float] = []
+    produced = 0
+    last = time.perf_counter()
+    for _answer in iterator:
+        now = time.perf_counter()
+        delays.append(now - last)
+        last = now
+        produced += 1
+        if limit is not None and produced >= limit:
+            break
+    return DelayProfile(
+        preprocessing_seconds=preprocessing,
+        delays=delays,
+        answers=produced,
+    )

@@ -1,0 +1,53 @@
+"""Hypergraph theory for conjunctive queries.
+
+Everything structural the paper's dichotomies hinge on:
+
+- :mod:`repro.hypergraph.hypergraph` — the :class:`Hypergraph` type;
+- :mod:`repro.hypergraph.gyo` — GYO reduction, alpha-acyclicity, and
+  join-tree construction (Theorem 3.1's precondition);
+- :mod:`repro.hypergraph.jointree` — validated join trees;
+- :mod:`repro.hypergraph.freeconnex` — free-connexness (Section 3.2/3.3);
+- :mod:`repro.hypergraph.trios` — disruptive trios (Section 3.4.1);
+- :mod:`repro.hypergraph.structure` — Brault-Baron witnesses (Thm 3.6);
+- :mod:`repro.hypergraph.starsize` — quantified star size (Section 4.4);
+- :mod:`repro.hypergraph.widths` — fractional edge covers / the AGM
+  exponent (Section 2.1).
+"""
+
+from repro.hypergraph.freeconnex import is_free_connex
+from repro.hypergraph.gyo import gyo_reduction, is_acyclic, join_tree
+from repro.hypergraph.hierarchical import (
+    is_hierarchical,
+    is_q_hierarchical,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.jointree import JoinTree
+from repro.hypergraph.starsize import quantified_star_size
+from repro.hypergraph.structure import BraultBaronWitness, find_hard_substructure
+from repro.hypergraph.trios import find_disruptive_trio, has_disruptive_trio
+from repro.hypergraph.widths import (
+    agm_exponent,
+    fractional_edge_cover,
+    integral_edge_cover_number,
+    max_independent_set,
+)
+
+__all__ = [
+    "BraultBaronWitness",
+    "Hypergraph",
+    "JoinTree",
+    "agm_exponent",
+    "find_disruptive_trio",
+    "find_hard_substructure",
+    "fractional_edge_cover",
+    "gyo_reduction",
+    "has_disruptive_trio",
+    "integral_edge_cover_number",
+    "is_acyclic",
+    "is_free_connex",
+    "is_hierarchical",
+    "is_q_hierarchical",
+    "join_tree",
+    "max_independent_set",
+    "quantified_star_size",
+]

@@ -1,0 +1,132 @@
+"""GYO reduction: alpha-acyclicity and join-tree construction.
+
+The paper defines acyclicity operationally (Section 2.1): a hypergraph
+is acyclic iff repeatedly (a) deleting a vertex contained in at most one
+edge and (b) deleting an edge that is a subset of another edge empties
+it.  This is the Graham / Yu–Ozsoyoglu (GYO) reduction.  The same run
+yields a join tree: when rule (b) deletes edge ``i`` because its current
+content is contained in edge ``j``, we make ``j`` the parent of ``i``.
+
+The join tree is the data structure behind every linear-time upper
+bound in Section 3: Yannakakis (Theorem 3.1), counting (Theorem 3.8),
+constant-delay enumeration (Theorem 3.17) and direct access
+(Theorem 3.24) all walk it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.jointree import JoinTree
+
+
+@dataclass
+class GYOResult:
+    """Full trace of a GYO reduction run.
+
+    ``parent`` maps a deleted edge index to the edge that absorbed it;
+    surviving indices (empty content at fixpoint, or non-empty content
+    when cyclic) appear in ``roots`` / ``stuck`` respectively.
+    """
+
+    acyclic: bool
+    parent: Dict[int, int] = field(default_factory=dict)
+    roots: List[int] = field(default_factory=list)
+    removal_order: List[int] = field(default_factory=list)
+    stuck_core: Dict[int, Set[str]] = field(default_factory=dict)
+
+
+def gyo_reduction(hypergraph: Hypergraph) -> GYOResult:
+    """Run the GYO reduction and report acyclicity plus the parent map.
+
+    The empty edge is treated as contained in any other edge, so a
+    disconnected acyclic hypergraph reduces to several empty root edges
+    and the result is a join *forest* with one root per component.
+    """
+    content: Dict[int, Set[str]] = {
+        i: set(edge) for i, edge in enumerate(hypergraph.edges)
+    }
+    alive: List[int] = sorted(content)
+    parent: Dict[int, int] = {}
+    removal_order: List[int] = []
+
+    changed = True
+    while changed:
+        changed = False
+
+        # Rule (a): delete vertices contained in at most one edge.
+        counts: Dict[str, List[int]] = {}
+        for i in alive:
+            for v in content[i]:
+                counts.setdefault(v, []).append(i)
+        for v, owners in sorted(counts.items()):
+            if len(owners) == 1:
+                content[owners[0]].discard(v)
+                changed = True
+
+        # Rule (b): delete one edge contained in another, recording the
+        # container as its join-tree parent.  One deletion per pass keeps
+        # mutual containment (duplicate edges) from deleting both.
+        for i in list(alive):
+            target: Optional[int] = None
+            for j in alive:
+                if j != i and content[i] <= content[j]:
+                    target = j
+                    break
+            if target is not None:
+                alive.remove(i)
+                parent[i] = target
+                removal_order.append(i)
+                changed = True
+                break
+
+    acyclic = all(not content[i] for i in alive)
+    result = GYOResult(acyclic=acyclic, parent=parent)
+    if acyclic:
+        result.roots = list(alive)
+        result.removal_order = removal_order
+    else:
+        result.stuck_core = {i: set(content[i]) for i in alive if content[i]}
+    return result
+
+
+def is_acyclic(hypergraph: Hypergraph) -> bool:
+    """Alpha-acyclicity via GYO (paper Section 2.1)."""
+    return gyo_reduction(hypergraph).acyclic
+
+
+def join_tree(hypergraph: Hypergraph) -> JoinTree:
+    """A join forest for an acyclic hypergraph.
+
+    Nodes are edge indices of ``hypergraph`` (hence atom indices of the
+    originating query); raises :class:`ValueError` on cyclic input.
+    """
+    result = gyo_reduction(hypergraph)
+    if not result.acyclic:
+        raise ValueError(
+            "hypergraph is cyclic; stuck core: "
+            f"{sorted(map(sorted, result.stuck_core.values()))}"
+        )
+    bags: Dict[int, frozenset] = {
+        i: hypergraph.edges[i] for i in range(len(hypergraph.edges))
+    }
+    return JoinTree(bags=bags, parent=dict(result.parent))
+
+
+def cyclic_core(hypergraph: Hypergraph) -> Hypergraph:
+    """The GYO-irreducible core of a cyclic hypergraph.
+
+    Returns the hypergraph on the stuck edges' *remaining* contents; for
+    acyclic inputs this is the empty hypergraph.  Theorem 3.6's witness
+    search (``repro.hypergraph.structure``) starts from this core, since
+    every hard substructure survives the reduction.
+    """
+    result = gyo_reduction(hypergraph)
+    if result.acyclic:
+        return Hypergraph((), ())
+    vertices: Set[str] = set()
+    for core_edge in result.stuck_core.values():
+        vertices |= core_edge
+    return Hypergraph(vertices, list(result.stuck_core.values()))

@@ -1,0 +1,82 @@
+"""(q-)hierarchical queries — the dynamic-evaluation dichotomy [15].
+
+The survey's conclusion points to query answering under updates, where
+Berkholz–Keppeler–Schweikardt [15] prove: Boolean CQs admit constant
+update time and constant answer time iff they are *q-hierarchical*.
+
+Definitions (for self-join free queries; at(x) = set of atoms whose
+scope contains x):
+
+- *hierarchical*: for all variables x, y, the sets at(x), at(y) are
+  comparable (one contains the other) or disjoint;
+- *q-hierarchical*: hierarchical, and whenever at(x) ⊊ at(y) with x a
+  free variable, y is free as well.
+
+These are purely structural predicates, so they slot into the same
+classifier machinery as acyclicity and free-connexness.  (Every
+hierarchical query is acyclic; q*_k is hierarchical but *not*
+q-hierarchical for k ≥ 2 — at(z) ⊋ at(x_i) with x_i free, z not —
+matching its hardness everywhere else in the paper.)
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.query.cq import ConjunctiveQuery
+
+
+def atom_sets(query: ConjunctiveQuery) -> Dict[str, FrozenSet[int]]:
+    """at(x): indices of the atoms whose scope contains x."""
+    out: Dict[str, set] = {v: set() for v in query.variables}
+    for index, atom in enumerate(query.atoms):
+        for variable in atom.scope:
+            out[variable].add(index)
+    return {v: frozenset(s) for v, s in out.items()}
+
+
+def hierarchical_violation(
+    query: ConjunctiveQuery,
+) -> Optional[Tuple[str, str]]:
+    """A pair of variables with crossing atom sets, or None."""
+    sets = atom_sets(query)
+    for x, y in combinations(sorted(query.variables), 2):
+        a, b = sets[x], sets[y]
+        if a & b and not (a <= b or b <= a):
+            return (x, y)
+    return None
+
+
+def is_hierarchical(query: ConjunctiveQuery) -> bool:
+    """Are all atom-set pairs nested or disjoint?"""
+    return hierarchical_violation(query) is None
+
+
+def q_hierarchical_violation(
+    query: ConjunctiveQuery,
+) -> Optional[Tuple[str, str, str]]:
+    """A witness against q-hierarchicality.
+
+    Returns ``("crossing", x, y)`` for a hierarchy violation or
+    ``("projection", x, y)`` when at(x) ⊊ at(y), x free, y projected.
+    """
+    crossing = hierarchical_violation(query)
+    if crossing is not None:
+        return ("crossing",) + crossing
+    sets = atom_sets(query)
+    free = query.free_variables
+    for x in sorted(free):
+        for y in sorted(query.variables):
+            if x == y or y in free:
+                continue
+            if sets[x] < sets[y]:
+                return ("projection", x, y)
+    return None
+
+
+def is_q_hierarchical(query: ConjunctiveQuery) -> bool:
+    """The [15] dichotomy predicate: O(1) updates + O(1) answers iff
+    q-hierarchical (for self-join free CQs, under the OMv conjecture
+    on the hard side)."""
+    return q_hierarchical_violation(query) is None

@@ -1,0 +1,196 @@
+"""The :class:`Hypergraph` type.
+
+A hypergraph ``H = (V, E)`` in the paper's sense: ``V`` is a finite set
+of vertices (query variables) and ``E`` a multiset of edges (atom
+scopes).  We keep edges as an ordered tuple with possible duplicates so
+that edge index ``i`` always corresponds to atom ``i`` of the query that
+produced the hypergraph; structural predicates that want distinct edges
+deduplicate explicitly.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+Vertex = str
+Edge = FrozenSet[Vertex]
+
+
+class Hypergraph:
+    """A finite hypergraph with indexed (multi-)edges."""
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex],
+        edges: Iterable[Iterable[Vertex]],
+    ) -> None:
+        self.vertices: FrozenSet[Vertex] = frozenset(vertices)
+        self.edges: Tuple[Edge, ...] = tuple(
+            frozenset(e) for e in edges
+        )
+        for edge in self.edges:
+            stray = edge - self.vertices
+            if stray:
+                raise ValueError(
+                    f"edge {set(edge)} mentions unknown vertices {stray}"
+                )
+        covered: Set[Vertex] = set()
+        for edge in self.edges:
+            covered |= edge
+        self._isolated = self.vertices - covered
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def distinct_edges(self) -> FrozenSet[Edge]:
+        """The edge set with duplicates collapsed."""
+        return frozenset(self.edges)
+
+    @property
+    def isolated_vertices(self) -> FrozenSet[Vertex]:
+        """Vertices in no edge (cannot arise from queries, but allowed)."""
+        return frozenset(self._isolated)
+
+    def edges_containing(self, vertex: Vertex) -> List[int]:
+        """Indices of the edges containing ``vertex``."""
+        return [i for i, e in enumerate(self.edges) if vertex in e]
+
+    def degree(self, vertex: Vertex) -> int:
+        """Number of (distinct) edges containing ``vertex``."""
+        return sum(1 for e in self.distinct_edges if vertex in e)
+
+    def is_uniform(self, h: Optional[int] = None) -> bool:
+        """Is every distinct edge of size ``h`` (inferred if omitted)?"""
+        sizes = {len(e) for e in self.distinct_edges}
+        if not sizes:
+            return True
+        if h is None:
+            return len(sizes) == 1
+        return sizes == {h}
+
+    def rank(self) -> int:
+        """Maximum edge size (0 for edgeless hypergraphs)."""
+        return max((len(e) for e in self.edges), default=0)
+
+    def is_graph(self) -> bool:
+        """True when every edge has at most two vertices ('graphlike')."""
+        return self.rank() <= 2
+
+    # ------------------------------------------------------------------
+    # derived structures
+    # ------------------------------------------------------------------
+    def primal_graph(self) -> Dict[Vertex, Set[Vertex]]:
+        """Adjacency of the primal (Gaifman) graph.
+
+        Two vertices are adjacent when some edge contains both; this is
+        the graph in which acyclic hypergraphs are chordal and conformal.
+        """
+        adj: Dict[Vertex, Set[Vertex]] = {v: set() for v in self.vertices}
+        for edge in self.edges:
+            for a, b in combinations(edge, 2):
+                adj[a].add(b)
+                adj[b].add(a)
+        return adj
+
+    def induced(self, subset: Iterable[Vertex]) -> "Hypergraph":
+        """The induced hypergraph ``H[S]``.
+
+        Vertices restricted to ``S``; each edge becomes its intersection
+        with ``S``; empty intersections are dropped (this matches the
+        usage in Theorem 3.6).
+        """
+        sub = frozenset(subset)
+        stray = sub - self.vertices
+        if stray:
+            raise ValueError(f"unknown vertices in subset: {stray}")
+        new_edges = [e & sub for e in self.edges if e & sub]
+        return Hypergraph(sub, new_edges)
+
+    def with_extra_edge(self, edge: Iterable[Vertex]) -> "Hypergraph":
+        """``H`` plus one more edge — the `H ∪ {S}` of free-connexness.
+
+        Vertices of the new edge must already be vertices of ``H``.
+        An empty extra edge is allowed (Boolean queries add no
+        constraint) and returns an identical hypergraph.
+        """
+        extra = frozenset(edge)
+        if not extra:
+            return Hypergraph(self.vertices, self.edges)
+        stray = extra - self.vertices
+        if stray:
+            raise ValueError(f"extra edge mentions unknown vertices {stray}")
+        return Hypergraph(self.vertices, tuple(self.edges) + (extra,))
+
+    def remove_contained_edges(self) -> "Hypergraph":
+        """Drop edges strictly or duplicate-contained in another edge.
+
+        This is the edge-deletion step of Theorem 3.6 ("deleting edges
+        that are completely contained in other edges"); one copy of each
+        maximal edge survives.
+        """
+        distinct = list(self.distinct_edges)
+        maximal = [
+            e
+            for e in distinct
+            if not any(e < f for f in distinct)
+        ]
+        return Hypergraph(self.vertices, maximal)
+
+    def connected_components(
+        self, subset: Optional[Iterable[Vertex]] = None
+    ) -> List[FrozenSet[Vertex]]:
+        """Connected components (of the induced subhypergraph on ``subset``).
+
+        Two vertices are connected when linked by a chain of edges; used
+        for the existential components of the star-size computation.
+        """
+        graph = self if subset is None else self.induced(subset)
+        adjacency = graph.primal_graph()
+        seen: Set[Vertex] = set()
+        components: List[FrozenSet[Vertex]] = []
+        for start in sorted(graph.vertices):
+            if start in seen:
+                continue
+            stack = [start]
+            component: Set[Vertex] = set()
+            while stack:
+                v = stack.pop()
+                if v in component:
+                    continue
+                component.add(v)
+                stack.extend(adjacency[v] - component)
+            seen |= component
+            components.append(frozenset(component))
+        return components
+
+    def is_connected(self) -> bool:
+        """Single connected component (edgeless singletons count)."""
+        return len(self.connected_components()) <= 1
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return (
+            self.vertices == other.vertices
+            and sorted(self.edges, key=sorted) == sorted(other.edges, key=sorted)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        edges = ", ".join(
+            "{" + ",".join(sorted(e)) + "}" for e in self.edges
+        )
+        return f"Hypergraph(|V|={len(self.vertices)}, E=[{edges}])"

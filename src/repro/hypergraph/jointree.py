@@ -1,0 +1,178 @@
+"""Validated join trees (and forests).
+
+A join tree of a hypergraph assigns one node per edge such that for
+every vertex ``v``, the nodes whose edge contains ``v`` form a connected
+subtree (the *running intersection* / coherence property).  That
+property is exactly what makes the semijoin passes of the Yannakakis
+algorithm sound, so :meth:`JoinTree.validate` is checked in tests for
+every tree the GYO construction emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+
+@dataclass
+class JoinTree:
+    """A join forest: ``bags`` per node plus a ``parent`` map.
+
+    ``bags`` maps node id (atom/edge index) to its variable set; nodes
+    missing from ``parent`` are roots.  The structure is a forest so
+    that disconnected queries are handled uniformly (their evaluation is
+    a cross product of per-tree results).
+    """
+
+    bags: Dict[int, FrozenSet[str]]
+    parent: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for child, par in self.parent.items():
+            if child not in self.bags or par not in self.bags:
+                raise ValueError("parent map mentions unknown node ids")
+        if self._has_cycle():
+            raise ValueError("parent map contains a cycle")
+
+    def _has_cycle(self) -> bool:
+        for start in self.bags:
+            seen = {start}
+            node = start
+            while node in self.parent:
+                node = self.parent[node]
+                if node in seen:
+                    return True
+                seen.add(node)
+        return False
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def roots(self) -> List[int]:
+        """Nodes without parents, one per tree of the forest."""
+        return sorted(n for n in self.bags if n not in self.parent)
+
+    def children(self, node: int) -> List[int]:
+        """Children of ``node`` in ascending id order."""
+        return sorted(c for c, p in self.parent.items() if p == node)
+
+    def nodes(self) -> List[int]:
+        return sorted(self.bags)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """(child, parent) pairs."""
+        return sorted(self.parent.items())
+
+    def bottom_up(self) -> Iterator[int]:
+        """Nodes in an order where children precede parents.
+
+        This is the order of the first Yannakakis semijoin pass.
+        """
+        order: List[int] = []
+        visited: Set[int] = set()
+
+        def visit(node: int) -> None:
+            if node in visited:
+                return
+            visited.add(node)
+            for child in self.children(node):
+                visit(child)
+            order.append(node)
+
+        for root in self.roots:
+            visit(root)
+        return iter(order)
+
+    def top_down(self) -> Iterator[int]:
+        """Nodes in an order where parents precede children."""
+        return reversed(list(self.bottom_up()))
+
+    def subtree(self, node: int) -> Set[int]:
+        """All nodes in the subtree rooted at ``node`` (inclusive)."""
+        out: Set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out.add(current)
+            stack.extend(self.children(current))
+        return out
+
+    def separator(self, child: int) -> FrozenSet[str]:
+        """Variables shared between ``child`` and its parent bag."""
+        par = self.parent.get(child)
+        if par is None:
+            return frozenset()
+        return self.bags[child] & self.bags[par]
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the running intersection property; raise on violation.
+
+        For every variable, the set of nodes whose bag contains it must
+        induce a connected subgraph of the forest.
+        """
+        variables: Set[str] = set()
+        for bag in self.bags.values():
+            variables |= bag
+        adjacency: Dict[int, Set[int]] = {n: set() for n in self.bags}
+        for child, par in self.parent.items():
+            adjacency[child].add(par)
+            adjacency[par].add(child)
+        for var in variables:
+            holders = {n for n, bag in self.bags.items() if var in bag}
+            start = next(iter(holders))
+            reached = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nbr in adjacency[node]:
+                    if nbr in holders and nbr not in reached:
+                        reached.add(nbr)
+                        stack.append(nbr)
+            if reached != holders:
+                raise ValueError(
+                    f"running intersection violated for variable {var!r}: "
+                    f"nodes {sorted(holders)} are not connected"
+                )
+
+    def rooted_at(self, new_root: int) -> "JoinTree":
+        """The same tree re-rooted at ``new_root`` (its component only
+        is re-rooted; other components keep their roots).
+
+        Re-rooting is used by the free-connex machinery, which wants the
+        node covering the free variables on top.
+        """
+        if new_root not in self.bags:
+            raise KeyError(f"unknown node {new_root}")
+        adjacency: Dict[int, Set[int]] = {n: set() for n in self.bags}
+        for child, par in self.parent.items():
+            adjacency[child].add(par)
+            adjacency[par].add(child)
+        new_parent: Dict[int, int] = {}
+        visited = {new_root}
+        stack = [new_root]
+        while stack:
+            node = stack.pop()
+            for nbr in adjacency[node]:
+                if nbr not in visited:
+                    visited.add(nbr)
+                    new_parent[nbr] = node
+                    stack.append(nbr)
+        # Preserve the other components untouched.
+        for child, par in self.parent.items():
+            if child not in visited and par not in visited:
+                new_parent[child] = par
+        return JoinTree(bags=dict(self.bags), parent=new_parent)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lines = []
+        for node in self.nodes():
+            par = self.parent.get(node)
+            bag = ",".join(sorted(self.bags[node]))
+            lines.append(f"{node}{{{bag}}}->{par}")
+        return "JoinTree(" + "; ".join(lines) + ")"

@@ -1,0 +1,83 @@
+"""Quantified star size (Durand–Mengel, paper Section 4.4 / Thm 4.6).
+
+Intuitively, the quantified star size of a query measures the largest
+star query ``q*_k`` (Section 3.2) embeddable into it: free variables
+``x1..xk`` that all "see" one existential component but are pairwise
+non-adjacent, so the component plays ``z``.  Theorem 4.6: a self-join
+free acyclic query of quantified star size ``k`` cannot be counted in
+time ``m^{k-ε}`` unless SETH-style SAT speedups exist.
+
+Definition used here (following [39]): for free variables ``S``, look
+at every connected component ``C`` of the hypergraph induced on the
+existential variables ``V \\ S``; collect the free variables adjacent
+to ``C`` (sharing an edge with a vertex of ``C``); the star size of
+``C`` is the maximum size of an *independent set* (no edge of ``H``
+contains two of them) among those free variables.  The quantified star
+size is the maximum over components, and 1 when there are no
+existential variables but ``S`` is non-empty.
+
+For acyclic hypergraphs the maximum independent set equals the minimum
+edge cover ([39, Lemma 19], also used for Theorem 3.26), so this is
+polynomial for them; we nevertheless use exact search since queries are
+small.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.widths import max_independent_set
+from repro.query.cq import ConjunctiveQuery
+
+
+def existential_components(
+    hypergraph: Hypergraph, free: Iterable[str]
+) -> List[FrozenSet[str]]:
+    """Connected components of the hypergraph induced on ``V \\ S``."""
+    free_set = frozenset(free)
+    existential = hypergraph.vertices - free_set
+    if not existential:
+        return []
+    return hypergraph.connected_components(existential)
+
+
+def component_star_size(
+    hypergraph: Hypergraph,
+    free: Iterable[str],
+    component: FrozenSet[str],
+) -> int:
+    """Star size contributed by one existential component.
+
+    The maximum independent (pairwise non-adjacent in ``H``) set of free
+    variables adjacent to the component.
+    """
+    free_set = frozenset(free)
+    attached: Set[str] = set()
+    for edge in hypergraph.edges:
+        if edge & component:
+            attached |= edge & free_set
+    if not attached:
+        return 0
+    return len(max_independent_set(hypergraph, attached))
+
+
+def quantified_star_size(query: ConjunctiveQuery) -> int:
+    """The quantified star size of a query.
+
+    Conventions: Boolean queries have star size 0; join queries
+    (no existential variables) have star size min(1, #free vars); the
+    star query q*_k has star size exactly ``k``.
+    """
+    hypergraph = query.hypergraph()
+    free_set = query.free_variables
+    if not free_set:
+        return 0
+    components = existential_components(hypergraph, free_set)
+    if not components:
+        return 1
+    best = max(
+        component_star_size(hypergraph, free_set, component)
+        for component in components
+    )
+    return max(best, 1)

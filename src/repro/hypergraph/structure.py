@@ -1,0 +1,149 @@
+"""Brault-Baron's structure theorem for cyclic hypergraphs (Theorem 3.6).
+
+If ``H`` is not acyclic, there is a vertex set ``S`` such that either
+
+- the induced hypergraph ``H[S]`` *is a cycle* (its maximal edges are
+  exactly the edge set of a graph cycle on ``S``), or
+- deleting contained edges from ``H[S]`` leaves a
+  ``(|S|-1)``-uniform *hyperclique* on ``S`` (all ``|S|-1``-subsets).
+
+This witness drives the lower-bound half of Theorem 3.7: a cycle
+witness lets Proposition 3.3 embed triangle finding; a hyperclique
+witness lets Theorem 3.5's construction embed hyperclique finding.
+
+The search is exponential in the number of query variables, which is
+fine: queries are fixed and small (the paper's bounds never depend on
+the query size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+MAX_WITNESS_SEARCH_VERTICES = 16
+
+
+@dataclass(frozen=True)
+class BraultBaronWitness:
+    """The hard substructure of a cyclic hypergraph.
+
+    ``kind`` is ``"cycle"`` or ``"hyperclique"``; ``vertices`` is the
+    set ``S``; for cycles, ``cycle_order`` lists ``S`` in cycle order.
+    """
+
+    kind: str
+    vertices: FrozenSet[str]
+    cycle_order: Tuple[str, ...] = ()
+
+    @property
+    def uniformity(self) -> int:
+        """Edge size of the hyperclique witness (``|S| - 1``)."""
+        if self.kind != "hyperclique":
+            raise ValueError("uniformity only defined for hypercliques")
+        return len(self.vertices) - 1
+
+
+def induced_is_cycle(
+    hypergraph: Hypergraph, subset: FrozenSet[str]
+) -> Optional[Tuple[str, ...]]:
+    """If ``H[S]`` is a (chordless, in the hypergraph sense) cycle,
+    return the vertices in cycle order; else ``None``.
+
+    ``H[S]`` is a cycle when its maximal edges are exactly the ``|S|``
+    two-element edges of a graph cycle through all of ``S``.
+    """
+    if len(subset) < 3:
+        return None
+    induced = hypergraph.induced(subset).remove_contained_edges()
+    maximal = set(induced.distinct_edges)
+    if any(len(e) != 2 for e in maximal):
+        return None
+    if len(maximal) != len(subset):
+        return None
+    adjacency = {v: set() for v in subset}
+    for edge in maximal:
+        a, b = sorted(edge)
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    if any(len(nbrs) != 2 for nbrs in adjacency.values()):
+        return None
+    # Walk the cycle and make sure it passes through every vertex.
+    start = min(subset)
+    order = [start]
+    prev = None
+    current = start
+    while True:
+        nxt = min(v for v in adjacency[current] if v != prev)
+        if nxt == start:
+            break
+        order.append(nxt)
+        prev, current = current, nxt
+        if len(order) > len(subset):
+            return None
+    if len(order) != len(subset):
+        return None
+    return tuple(order)
+
+
+def induced_is_near_hyperclique(
+    hypergraph: Hypergraph, subset: FrozenSet[str]
+) -> bool:
+    """Does deleting contained edges from ``H[S]`` leave the complete
+    ``(|S|-1)``-uniform hyperclique on ``S``?
+
+    Per Theorem 3.6 the deletion step removes edges *completely
+    contained in other edges*, so the surviving (maximal) edges must be
+    exactly all ``(|S|-1)``-subsets of ``S``.
+    """
+    k = len(subset)
+    if k < 3:
+        return False
+    induced = hypergraph.induced(subset).remove_contained_edges()
+    maximal = set(induced.distinct_edges)
+    wanted = {
+        frozenset(combo) for combo in combinations(sorted(subset), k - 1)
+    }
+    return maximal == wanted
+
+
+def find_hard_substructure(
+    hypergraph: Hypergraph,
+) -> Optional[BraultBaronWitness]:
+    """Find a Theorem 3.6 witness in a cyclic hypergraph.
+
+    Returns ``None`` for acyclic hypergraphs.  Prefers cycle witnesses
+    (they allow the cheaper Proposition 3.3 reduction) and searches
+    smaller sets first so the returned witness is minimal.
+    """
+    from repro.hypergraph.gyo import is_acyclic
+
+    if is_acyclic(hypergraph):
+        return None
+    if len(hypergraph.vertices) > MAX_WITNESS_SEARCH_VERTICES:
+        raise ValueError(
+            "witness search is exponential and capped at "
+            f"{MAX_WITNESS_SEARCH_VERTICES} vertices"
+        )
+    vertices = sorted(hypergraph.vertices)
+    for size in range(3, len(vertices) + 1):
+        for combo in combinations(vertices, size):
+            subset = frozenset(combo)
+            order = induced_is_cycle(hypergraph, subset)
+            if order is not None:
+                return BraultBaronWitness(
+                    kind="cycle", vertices=subset, cycle_order=order
+                )
+            if induced_is_near_hyperclique(hypergraph, subset):
+                return BraultBaronWitness(
+                    kind="hyperclique", vertices=subset
+                )
+    # Theorem 3.6 guarantees a witness exists; reaching this line would
+    # falsify it (or reveal a bug), so fail loudly rather than guess.
+    raise AssertionError(
+        "cyclic hypergraph without a Brault-Baron witness — this "
+        "contradicts Theorem 3.6; please report"
+    )

@@ -1,0 +1,99 @@
+"""Disruptive trios (paper Section 3.4.1, after Lemma 3.23).
+
+For a join query ``q`` and an order ``⪯`` on its variables, three
+variables ``y1, y2, y3`` form a *disruptive trio* when:
+
+- ``y1 ⪯ y3`` and ``y2 ⪯ y3`` (``y3`` comes last among the three),
+- the pairs ``(y1, y3)`` and ``(y2, y3)`` each share an atom, and
+- ``y1, y2`` share **no** atom.
+
+A disruptive trio lets the hard query ``q̂*_2`` be embedded (the trio
+plays x1, x2, z), so by Lemma 3.23 lexicographic direct access in the
+order ``⪯`` needs superlinear preprocessing.  Theorem 3.24: a join
+query admits linear-preprocessing/polylog-access lexicographic direct
+access for ``⪯`` iff it is acyclic and has no disruptive trio for ``⪯``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.query.cq import ConjunctiveQuery
+
+
+def _share_atom(query: ConjunctiveQuery, a: str, b: str) -> bool:
+    return any(a in atom.scope and b in atom.scope for atom in query.atoms)
+
+
+def find_disruptive_trio(
+    query: ConjunctiveQuery, order: Sequence[str]
+) -> Optional[Tuple[str, str, str]]:
+    """The lexicographically first disruptive trio, or ``None``.
+
+    ``order`` must list every variable of the query exactly once,
+    earliest (most significant) first.  Returns ``(y1, y2, y3)`` with
+    ``y3`` the late variable.
+    """
+    order = tuple(order)
+    if set(order) != set(query.variables) or len(order) != len(
+        set(order)
+    ):
+        raise ValueError(
+            "order must be a permutation of the query's variables"
+        )
+    position = {v: i for i, v in enumerate(order)}
+    variables = sorted(query.variables, key=position.get)
+    for k, y3 in enumerate(variables):
+        earlier = variables[:k]
+        neighbors = [y for y in earlier if _share_atom(query, y, y3)]
+        for i, y1 in enumerate(neighbors):
+            for y2 in neighbors[i + 1 :]:
+                if not _share_atom(query, y1, y2):
+                    return (y1, y2, y3)
+    return None
+
+
+def has_disruptive_trio(
+    query: ConjunctiveQuery, order: Sequence[str]
+) -> bool:
+    """Does the query have a disruptive trio w.r.t. ``order``?"""
+    return find_disruptive_trio(query, order) is not None
+
+
+def trio_free_order(query: ConjunctiveQuery) -> Optional[Tuple[str, ...]]:
+    """Some variable order without a disruptive trio, if one exists.
+
+    Greedy search: repeatedly append a variable whose earlier neighbors
+    are pairwise adjacent (mirroring the connection between trio-free
+    orders and perfect elimination orders of the primal graph, reversed).
+    Falls back to exhaustive search for small queries when the greedy
+    pass fails, and returns ``None`` when no order works.
+    """
+    from itertools import permutations
+
+    variables = sorted(query.variables)
+    chosen: list = []
+    remaining = set(variables)
+    while remaining:
+        placed = False
+        for v in sorted(remaining):
+            neighbors = [u for u in chosen if _share_atom(query, u, v)]
+            ok = all(
+                _share_atom(query, a, b)
+                for i, a in enumerate(neighbors)
+                for b in neighbors[i + 1 :]
+            )
+            if ok:
+                chosen.append(v)
+                remaining.discard(v)
+                placed = True
+                break
+        if not placed:
+            break
+    if not remaining:
+        return tuple(chosen)
+    if len(variables) <= 8:
+        for perm in permutations(variables):
+            if find_disruptive_trio(query, perm) is None:
+                return perm
+    return None

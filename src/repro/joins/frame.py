@@ -1,0 +1,213 @@
+"""The :class:`Frame`: an intermediate result with named columns.
+
+Relations store positional tuples; join algorithms need to know *which
+variable* each column binds.  A frame pairs a variable tuple with a set
+of rows and provides the small relational algebra the algorithms are
+written in (project, select, semijoin, join, rename).
+
+Frames are deliberately immutable-ish (operations return new frames) so
+algorithm code reads like the algebra in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.db.relation import Relation
+
+Row = Tuple[object, ...]
+
+
+class Frame:
+    """A set of rows over an ordered tuple of variables."""
+
+    def __init__(
+        self, variables: Sequence[str], rows: Iterable[Sequence[object]] = ()
+    ) -> None:
+        self.variables: Tuple[str, ...] = tuple(variables)
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError("frame variables must be distinct")
+        self.rows: Set[Row] = set()
+        width = len(self.variables)
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != width:
+                raise ValueError(
+                    f"row of width {len(tup)} for frame of width {width}"
+                )
+            self.rows.add(tup)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_atom(cls, relation: Relation, variables: Sequence[str]) -> "Frame":
+        """Bind a stored relation to atom variables.
+
+        Repeated variables act as equality selections: ``R(x, x)`` keeps
+        only tuples with equal components and exposes one column.
+        """
+        variables = tuple(variables)
+        if len(variables) != relation.arity:
+            raise ValueError(
+                f"atom has {len(variables)} positions, relation "
+                f"{relation.name} has arity {relation.arity}"
+            )
+        distinct: List[str] = []
+        first_position: Dict[str, int] = {}
+        for pos, var in enumerate(variables):
+            if var not in first_position:
+                first_position[var] = pos
+                distinct.append(var)
+        rows = []
+        for tup in relation:
+            ok = all(
+                tup[pos] == tup[first_position[var]]
+                for pos, var in enumerate(variables)
+            )
+            if ok:
+                rows.append(tuple(tup[first_position[v]] for v in distinct))
+        return cls(distinct, rows)
+
+    @classmethod
+    def unit(cls) -> "Frame":
+        """The frame with no variables and one (empty) row — join identity."""
+        return cls((), [()])
+
+    @classmethod
+    def empty(cls, variables: Sequence[str] = ()) -> "Frame":
+        """A frame with no rows — join absorber."""
+        return cls(variables, [])
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __contains__(self, row: Sequence[object]) -> bool:
+        return tuple(row) in self.rows
+
+    def is_empty(self) -> bool:
+        return not self.rows
+
+    def positions(self, variables: Sequence[str]) -> Tuple[int, ...]:
+        """Column positions of the given variables."""
+        index = {v: i for i, v in enumerate(self.variables)}
+        try:
+            return tuple(index[v] for v in variables)
+        except KeyError as exc:
+            raise KeyError(f"variable {exc.args[0]!r} not in frame") from None
+
+    def key_of(self, row: Row, positions: Sequence[int]) -> Row:
+        return tuple(row[p] for p in positions)
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def project(self, variables: Sequence[str]) -> "Frame":
+        """Projection (set semantics, duplicates collapse)."""
+        pos = self.positions(variables)
+        return Frame(
+            variables, {tuple(row[p] for p in pos) for row in self.rows}
+        )
+
+    def rename(self, mapping: Dict[str, str]) -> "Frame":
+        """Rename variables through ``mapping`` (missing keys unchanged)."""
+        return Frame(
+            tuple(mapping.get(v, v) for v in self.variables), self.rows
+        )
+
+    def select_in(
+        self, variables: Sequence[str], allowed: Set[Row]
+    ) -> "Frame":
+        """Keep rows whose projection onto ``variables`` is in ``allowed``."""
+        pos = self.positions(variables)
+        return Frame(
+            self.variables,
+            (r for r in self.rows if self.key_of(r, pos) in allowed),
+        )
+
+    def semijoin(self, other: "Frame") -> "Frame":
+        """Rows of self that agree with some row of ``other`` on the
+        shared variables."""
+        shared = tuple(v for v in self.variables if v in other.variables)
+        if not shared:
+            return self if not other.is_empty() else Frame.empty(self.variables)
+        other_keys = {
+            other.key_of(row, other.positions(shared)) for row in other.rows
+        }
+        return self.select_in(shared, other_keys)
+
+    def join(self, other: "Frame") -> "Frame":
+        """Natural join (hash join on the shared variables)."""
+        shared = tuple(v for v in self.variables if v in other.variables)
+        other_only = tuple(
+            v for v in other.variables if v not in self.variables
+        )
+        out_vars = self.variables + other_only
+        if not shared:
+            rows = [
+                left + right_extra
+                for left in self.rows
+                for right_extra in {
+                    tuple(r[p] for p in other.positions(other_only))
+                    for r in other.rows
+                }
+            ]
+            return Frame(out_vars, rows)
+        # Build on the smaller side.
+        build, probe, build_is_self = (
+            (self, other, True)
+            if len(self.rows) <= len(other.rows)
+            else (other, self, False)
+        )
+        build_pos = build.positions(shared)
+        table: Dict[Row, List[Row]] = {}
+        for row in build.rows:
+            table.setdefault(build.key_of(row, build_pos), []).append(row)
+        probe_pos = probe.positions(shared)
+        rows = []
+        other_pos_in = other.positions(other_only) if other_only else ()
+        for probe_row in probe.rows:
+            matches = table.get(probe.key_of(probe_row, probe_pos))
+            if not matches:
+                continue
+            for build_row in matches:
+                self_row = build_row if build_is_self else probe_row
+                other_row = probe_row if build_is_self else build_row
+                extra = tuple(other_row[p] for p in other_pos_in)
+                rows.append(self_row + extra)
+        return Frame(out_vars, rows)
+
+    def reorder(self, variables: Sequence[str]) -> "Frame":
+        """The same rows with columns permuted to ``variables``."""
+        if set(variables) != set(self.variables):
+            raise ValueError("reorder must use exactly the frame's variables")
+        pos = self.positions(variables)
+        return Frame(
+            variables, (tuple(r[p] for p in pos) for r in self.rows)
+        )
+
+    def to_tuples(self, variables: Optional[Sequence[str]] = None) -> Set[Row]:
+        """Rows as a set of tuples, optionally in a given variable order."""
+        if variables is None:
+            return set(self.rows)
+        pos = self.positions(variables)
+        return {tuple(r[p] for p in pos) for r in self.rows}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Frame({self.variables}, {len(self.rows)} rows)"

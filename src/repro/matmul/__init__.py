@@ -1,0 +1,33 @@
+"""Boolean matrix multiplication backends (paper Section 2.3).
+
+The paper's triangle algorithm (Theorem 3.2) and the Nešetřil–Poljak
+k-clique algorithm (Theorem 4.1) are parameterized by a Boolean matrix
+multiplication routine with exponent ω.  We provide:
+
+- :func:`bmm_numpy` — the "fast" backend: multiply over the integers
+  with numpy and threshold (exactly the real-multiplication trick the
+  paper describes);
+- :func:`bmm_naive` — the cubic *combinatorial* baseline (the reference
+  point of the Combinatorial k-Clique Hypothesis discussion, Sec 4.1.1);
+- :func:`bmm_strassen` — a from-scratch Strassen implementation
+  (ω = log2 7 ≈ 2.807) showing a genuinely sub-cubic algorithm without
+  relying on BLAS;
+- :mod:`repro.matmul.sparse` — output-sensitive sparse BMM, the object
+  of the Sparse BMM Hypothesis (Hypothesis 1).
+"""
+
+from repro.matmul.dense import bmm_naive, bmm_numpy, bmm_strassen
+from repro.matmul.sparse import (
+    SparseBooleanMatrix,
+    sparse_bmm,
+    sparse_bmm_via_dense,
+)
+
+__all__ = [
+    "SparseBooleanMatrix",
+    "bmm_naive",
+    "bmm_numpy",
+    "bmm_strassen",
+    "sparse_bmm",
+    "sparse_bmm_via_dense",
+]

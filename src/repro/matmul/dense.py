@@ -1,0 +1,140 @@
+"""Dense Boolean matrix multiplication backends.
+
+All functions take and return numpy arrays of dtype ``bool`` (inputs of
+0/1 integers are accepted and coerced).  The Boolean product is
+``C[i,j] = OR_k A[i,k] AND B[k,j]``.
+
+The paper (Section 2.3) notes that the best Boolean MM algorithms just
+multiply over the reals and threshold — :func:`bmm_numpy` does exactly
+that.  :func:`bmm_naive` is the O(n^3) combinatorial reference, and
+:func:`bmm_strassen` a from-scratch Strassen recursion (the 1969
+breakthrough the section recounts) with exponent log2(7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+STRASSEN_CUTOFF = 64
+STRASSEN_EXPONENT = 2.807  # log2(7), Strassen's 1969 bound on omega
+
+
+def _coerce(matrix: np.ndarray, name: str) -> np.ndarray:
+    array = np.asarray(matrix)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional")
+    return array.astype(bool)
+
+
+def _check_compatible(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(
+            f"inner dimensions differ: {a.shape} vs {b.shape}"
+        )
+
+
+def bmm_numpy(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Boolean MM via integer multiplication and thresholding.
+
+    This is the paper's reduction of Boolean MM to MM over the reals:
+    any non-zero entry of the integer product becomes 1.  int64 is safe:
+    entries are bounded by the inner dimension.
+    """
+    a = _coerce(a, "a")
+    b = _coerce(b, "b")
+    _check_compatible(a, b)
+    product = a.astype(np.int64) @ b.astype(np.int64)
+    return product > 0
+
+
+def bmm_naive(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The cubic combinatorial algorithm: row-by-row OR of rows of B.
+
+    Deliberately avoids any algebraic trick so it can serve as the
+    "combinatorial algorithm" baseline of Section 4.1.1.  (Row-level
+    numpy ORs keep it usable in experiments while preserving the cubic
+    operation count.)
+    """
+    a = _coerce(a, "a")
+    b = _coerce(b, "b")
+    _check_compatible(a, b)
+    n, _ = a.shape
+    _, p = b.shape
+    out = np.zeros((n, p), dtype=bool)
+    for i in range(n):
+        row = out[i]
+        a_row = a[i]
+        for k in np.flatnonzero(a_row):
+            np.logical_or(row, b[k], out=row)
+    return out
+
+
+def _pad_to_power_of_two(matrix: np.ndarray, size: int) -> np.ndarray:
+    padded = np.zeros((size, size), dtype=np.int64)
+    padded[: matrix.shape[0], : matrix.shape[1]] = matrix
+    return padded
+
+
+def _strassen_recursive(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Strassen over the integers; inputs are square with 2^k sides."""
+    n = a.shape[0]
+    if n <= STRASSEN_CUTOFF:
+        return a @ b
+    h = n // 2
+    a11, a12 = a[:h, :h], a[:h, h:]
+    a21, a22 = a[h:, :h], a[h:, h:]
+    b11, b12 = b[:h, :h], b[:h, h:]
+    b21, b22 = b[h:, :h], b[h:, h:]
+
+    m1 = _strassen_recursive(a11 + a22, b11 + b22)
+    m2 = _strassen_recursive(a21 + a22, b11)
+    m3 = _strassen_recursive(a11, b12 - b22)
+    m4 = _strassen_recursive(a22, b21 - b11)
+    m5 = _strassen_recursive(a11 + a12, b22)
+    m6 = _strassen_recursive(a21 - a11, b11 + b12)
+    m7 = _strassen_recursive(a12 - a22, b21 + b22)
+
+    out = np.empty((n, n), dtype=np.int64)
+    out[:h, :h] = m1 + m4 - m5 + m7
+    out[:h, h:] = m3 + m5
+    out[h:, :h] = m2 + m4
+    out[h:, h:] = m1 - m2 + m3 + m6
+    return out
+
+
+def bmm_strassen(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Boolean MM through a from-scratch Strassen recursion.
+
+    Works over the integers (Strassen needs subtraction, which the
+    Boolean semiring lacks — the same reason the paper multiplies over
+    the reals) and thresholds at the end.  Entries stay bounded by the
+    inner dimension, far below int64 overflow for any feasible size.
+    """
+    a = _coerce(a, "a")
+    b = _coerce(b, "b")
+    _check_compatible(a, b)
+    n = max(a.shape[0], a.shape[1], b.shape[1])
+    size = 1
+    while size < n:
+        size *= 2
+    a_pad = _pad_to_power_of_two(a.astype(np.int64), size)
+    b_pad = _pad_to_power_of_two(b.astype(np.int64), size)
+    product = _strassen_recursive(a_pad, b_pad)
+    return product[: a.shape[0], : b.shape[1]] > 0
+
+
+BACKENDS = {
+    "numpy": bmm_numpy,
+    "naive": bmm_naive,
+    "strassen": bmm_strassen,
+}
+
+
+def get_backend(name: str):
+    """Look up a BMM backend by name (``numpy``/``naive``/``strassen``)."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown BMM backend {name!r}; choose from {sorted(BACKENDS)}"
+        ) from None

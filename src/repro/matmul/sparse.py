@@ -1,0 +1,143 @@
+"""Sparse Boolean matrix multiplication (Hypothesis 1's problem).
+
+In the sparse setting the input matrices are given as lists of the
+positions of their non-zero entries, and runtime is measured in
+``m`` — the total number of non-zeros of inputs *and output*.  The
+Sparse BMM Hypothesis (Hypothesis 1) asserts no Õ(m) algorithm exists;
+the best known bound is O(m^1.3459) [Abboud et al., SODA 2024].
+
+:class:`SparseBooleanMatrix` is the list-of-coordinates representation;
+:func:`sparse_bmm` is the classical output-sensitive "hash join"
+algorithm with runtime O(Σ_k in-degree(k)·out-degree(k)) — worst case
+m^2, and exactly the algorithm that enumeration of the query q̄*_2
+simulates in Theorem 3.15.  :func:`sparse_bmm_via_dense` routes through
+a dense backend, which wins on dense-ish inputs; the crossover between
+the two is one of the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+import numpy as np
+
+Coordinate = Tuple[int, int]
+
+
+class SparseBooleanMatrix:
+    """A Boolean matrix stored as the set of its non-zero coordinates."""
+
+    def __init__(
+        self, entries: Iterable[Coordinate] = (), shape: Tuple[int, int] = None
+    ) -> None:
+        self.entries: Set[Coordinate] = set()
+        for i, j in entries:
+            if i < 0 or j < 0:
+                raise ValueError("coordinates must be non-negative")
+            self.entries.add((int(i), int(j)))
+        if shape is None:
+            rows = 1 + max((i for i, _ in self.entries), default=-1)
+            cols = 1 + max((j for _, j in self.entries), default=-1)
+            shape = (rows, cols)
+        self.shape = shape
+        for i, j in self.entries:
+            if i >= shape[0] or j >= shape[1]:
+                raise ValueError(
+                    f"entry ({i},{j}) outside shape {shape}"
+                )
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero entries."""
+        return len(self.entries)
+
+    def rows_by_column(self) -> Dict[int, List[int]]:
+        """Map j -> sorted list of i with (i, j) non-zero."""
+        out: Dict[int, List[int]] = {}
+        for i, j in self.entries:
+            out.setdefault(j, []).append(i)
+        for values in out.values():
+            values.sort()
+        return out
+
+    def cols_by_row(self) -> Dict[int, List[int]]:
+        """Map i -> sorted list of j with (i, j) non-zero."""
+        out: Dict[int, List[int]] = {}
+        for i, j in self.entries:
+            out.setdefault(i, []).append(j)
+        for values in out.values():
+            values.sort()
+        return out
+
+    def transpose(self) -> "SparseBooleanMatrix":
+        return SparseBooleanMatrix(
+            ((j, i) for i, j in self.entries),
+            shape=(self.shape[1], self.shape[0]),
+        )
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=bool)
+        for i, j in self.entries:
+            dense[i, j] = True
+        return dense
+
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray) -> "SparseBooleanMatrix":
+        array = np.asarray(matrix).astype(bool)
+        coords = zip(*np.nonzero(array))
+        return cls(((int(i), int(j)) for i, j in coords), shape=array.shape)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseBooleanMatrix):
+            return NotImplemented
+        return self.entries == other.entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SparseBooleanMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+def sparse_bmm(
+    a: SparseBooleanMatrix, b: SparseBooleanMatrix
+) -> SparseBooleanMatrix:
+    """Output-sensitive sparse Boolean product via the middle index.
+
+    For every middle index k, pair the rows i with A[i,k]=1 against the
+    columns j with B[k,j]=1.  This is the join-then-project that the
+    query q̄*_2(x,y) :- A(x,z), B(z,y) performs, and the algorithm whose
+    Õ(m) impossibility is Hypothesis 1.
+    """
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
+    by_col = a.rows_by_column()
+    by_row = b.cols_by_row()
+    out: Set[Coordinate] = set()
+    for k, left_rows in by_col.items():
+        right_cols = by_row.get(k)
+        if not right_cols:
+            continue
+        for i in left_rows:
+            for j in right_cols:
+                out.add((i, j))
+    return SparseBooleanMatrix(out, shape=(a.shape[0], b.shape[1]))
+
+
+def sparse_bmm_via_dense(
+    a: SparseBooleanMatrix,
+    b: SparseBooleanMatrix,
+    backend: str = "numpy",
+) -> SparseBooleanMatrix:
+    """Sparse product by densifying and using a dense backend.
+
+    The n^ω route: better than :func:`sparse_bmm` when the inputs are
+    dense relative to their dimensions, hopeless when n is large and the
+    matrices are very sparse — which is precisely why a fast dense
+    algorithm (even ω = 2) does not obviously give fast *sparse* BMM
+    (paper Section 2.3).
+    """
+    from repro.matmul.dense import get_backend
+
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
+    multiply = get_backend(backend)
+    product = multiply(a.to_dense(), b.to_dense())
+    return SparseBooleanMatrix.from_dense(product)

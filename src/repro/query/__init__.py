@@ -1,0 +1,35 @@
+"""Conjunctive query syntax: atoms, queries, a parser, and a catalog.
+
+Queries follow the paper's form ``q(X) :- R1(X1), ..., Rl(Xl)`` where
+``X`` (the free/head variables) is a subset of the body variables.
+``X`` equal to all body variables makes ``q`` a *join query*; ``X``
+empty makes it *Boolean*.  A query is *self-join free* when no relation
+symbol repeats among atoms.
+
+The :mod:`repro.query.catalog` module provides the named query families
+the paper's results revolve around: the triangle query, k-cycles,
+k-paths, the star queries q*_k / q̄*_k / q̂*_k, Loomis–Whitney queries
+and k-clique queries.
+"""
+
+from repro.query.atoms import Atom
+from repro.query.cq import ConjunctiveQuery
+from repro.query.homomorphism import (
+    are_equivalent,
+    core,
+    find_homomorphism,
+    is_contained_in,
+)
+from repro.query.parser import parse_query
+from repro.query import catalog
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "are_equivalent",
+    "catalog",
+    "core",
+    "find_homomorphism",
+    "is_contained_in",
+    "parse_query",
+]

@@ -1,0 +1,57 @@
+"""Query atoms.
+
+An atom ``R(x, y, x)`` pairs a relation symbol with a tuple of variable
+names.  Variables may repeat inside an atom (the repetition acts as an
+equality constraint during evaluation); the atom's *scope* is the set of
+distinct variables, which is what the query's hypergraph records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``relation(variables...)`` of a conjunctive query."""
+
+    relation: str
+    variables: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation or not self.relation.isidentifier():
+            raise ValueError(
+                f"relation symbol must be an identifier, got {self.relation!r}"
+            )
+        object.__setattr__(self, "variables", tuple(self.variables))
+        for var in self.variables:
+            if not isinstance(var, str) or not var.isidentifier():
+                raise ValueError(
+                    f"variable names must be identifiers, got {var!r}"
+                )
+
+    @property
+    def arity(self) -> int:
+        """Number of variable *positions* (repeats counted)."""
+        return len(self.variables)
+
+    @property
+    def scope(self) -> FrozenSet[str]:
+        """The set of distinct variables — the hypergraph edge."""
+        return frozenset(self.variables)
+
+    def has_repeated_variables(self) -> bool:
+        """True when a variable occurs in more than one position."""
+        return len(self.scope) < len(self.variables)
+
+    def rename(self, mapping) -> "Atom":
+        """A copy with variables renamed through ``mapping`` (dict or fn)."""
+        if callable(mapping):
+            new_vars = tuple(mapping(v) for v in self.variables)
+        else:
+            new_vars = tuple(mapping.get(v, v) for v in self.variables)
+        return Atom(self.relation, new_vars)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.variables)})"

@@ -1,0 +1,189 @@
+"""Catalog of the named query families from the paper.
+
+Every query the survey's results revolve around, as a constructor:
+
+====================  =============================================
+``triangle_query``    q△ () :- R1(x,y), R2(y,z), R3(z,x)   (Sec 3.1.1)
+``cycle_query``       q°k, the k-cycle join query          (Ex 4.2)
+``path_query``        the length-k path query (acyclic baseline)
+``star_query``        q*_k with self-joins                 (Lemma 3.9)
+``star_query_sjf``    q̄*_k, self-join free               (Thm 3.15)
+``star_query_full``   q̂*_k, with z also free             (Lemma 3.23)
+``loomis_whitney``    q^LW_k                               (Ex 3.4)
+``clique_query``      the k-clique join query over E       (Sec 4.1.2)
+``hierarchical_...``  simple free-connex / non-free-connex pairs
+====================  =============================================
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from repro.query.atoms import Atom
+from repro.query.cq import ConjunctiveQuery
+
+
+def _vars(prefix: str, count: int) -> list:
+    return [f"{prefix}{i}" for i in range(1, count + 1)]
+
+
+def triangle_query(boolean: bool = True) -> ConjunctiveQuery:
+    """The triangle query q△ (Boolean) or its join variant q̄△."""
+    atoms = (
+        Atom("R1", ("x", "y")),
+        Atom("R2", ("y", "z")),
+        Atom("R3", ("z", "x")),
+    )
+    head = () if boolean else ("x", "y", "z")
+    return ConjunctiveQuery(head, atoms, name="q_triangle")
+
+
+def cycle_query(k: int, boolean: bool = False) -> ConjunctiveQuery:
+    """The k-cycle query q°k :- R1(v1,v2), ..., Rk(vk,v1)."""
+    if k < 3:
+        raise ValueError("cycles need k >= 3")
+    vs = _vars("v", k)
+    atoms = tuple(
+        Atom(f"R{i + 1}", (vs[i], vs[(i + 1) % k])) for i in range(k)
+    )
+    head = () if boolean else tuple(vs)
+    return ConjunctiveQuery(head, atoms, name=f"q_cycle{k}")
+
+
+def path_query(k: int, boolean: bool = False) -> ConjunctiveQuery:
+    """The k-edge path query :- R1(v1,v2), ..., Rk(vk,vk+1); acyclic."""
+    if k < 1:
+        raise ValueError("paths need k >= 1")
+    vs = _vars("v", k + 1)
+    atoms = tuple(Atom(f"R{i + 1}", (vs[i], vs[i + 1])) for i in range(k))
+    head = () if boolean else tuple(vs)
+    return ConjunctiveQuery(head, atoms, name=f"q_path{k}")
+
+
+def star_query(k: int) -> ConjunctiveQuery:
+    """q*_k(x1,...,xk) :- R(x1,z), ..., R(xk,z) — self-joins, z projected.
+
+    The central hard query for counting (Lemma 3.9 / Corollary 3.11):
+    acyclic but not free-connex for k >= 2.
+    """
+    if k < 1:
+        raise ValueError("stars need k >= 1")
+    xs = _vars("x", k)
+    atoms = tuple(Atom("R", (x, "z")) for x in xs)
+    return ConjunctiveQuery(tuple(xs), atoms, name=f"q_star{k}")
+
+
+def star_query_sjf(k: int) -> ConjunctiveQuery:
+    """q̄*_k(x1,...,xk) :- R1(x1,z), ..., Rk(xk,z) — self-join free.
+
+    The enumeration-hard query of Theorem 3.15 (for k = 2 it encodes
+    Boolean matrix multiplication).
+    """
+    if k < 1:
+        raise ValueError("stars need k >= 1")
+    xs = _vars("x", k)
+    atoms = tuple(Atom(f"R{i + 1}", (x, "z")) for i, x in enumerate(xs))
+    return ConjunctiveQuery(tuple(xs), atoms, name=f"q_star{k}_sjf")
+
+
+def star_query_full(k: int, self_join_free: bool = False) -> ConjunctiveQuery:
+    """q̂*_k(x1,...,xk,z) — like q*_k but with z free (Lemma 3.23).
+
+    A join query; with the variable order x1 > ... > xk > z it has a
+    disruptive trio (x1, x2, z), which is what makes lexicographic
+    direct access hard for it.
+    """
+    if k < 1:
+        raise ValueError("stars need k >= 1")
+    xs = _vars("x", k)
+    if self_join_free:
+        atoms = tuple(Atom(f"R{i + 1}", (x, "z")) for i, x in enumerate(xs))
+    else:
+        atoms = tuple(Atom("R", (x, "z")) for x in xs)
+    return ConjunctiveQuery(
+        tuple(xs) + ("z",), atoms, name=f"q_star{k}_full"
+    )
+
+
+def loomis_whitney_query(k: int, boolean: bool = True) -> ConjunctiveQuery:
+    """The k-dimensional Loomis–Whitney query q^LW_k (Example 3.4).
+
+    One atom per (k-1)-subset of {x1,...,xk}, each on its own relation
+    symbol.  For k = 3 this is the triangle query (up to naming); for
+    k > 3 it is cyclic but contains no induced cycle.
+    """
+    if k < 3:
+        raise ValueError("Loomis-Whitney queries need k >= 3")
+    xs = _vars("x", k)
+    atoms = []
+    for subset in combinations(range(k), k - 1):
+        label = "_".join(str(i + 1) for i in subset)
+        atoms.append(Atom(f"R{label}", tuple(xs[i] for i in subset)))
+    head = () if boolean else tuple(xs)
+    return ConjunctiveQuery(head, tuple(atoms), name=f"q_lw{k}")
+
+
+def clique_query(k: int, boolean: bool = False) -> ConjunctiveQuery:
+    """The k-clique join query over a single symmetric edge relation E.
+
+    q_k(x1,...,xk) :- AND over i != j of E(xi, xj)  (Section 4.1.2).
+    With a weighted database over the tropical semiring, aggregating
+    this query *is* Min-Weight-k-Clique.
+    """
+    if k < 2:
+        raise ValueError("cliques need k >= 2")
+    xs = _vars("x", k)
+    atoms = tuple(
+        Atom("E", (xs[i], xs[j]))
+        for i in range(k)
+        for j in range(k)
+        if i != j
+    )
+    head = () if boolean else tuple(xs)
+    return ConjunctiveQuery(head, atoms, name=f"q_clique{k}")
+
+
+def matrix_multiplication_query() -> ConjunctiveQuery:
+    """q̄*_2 written suggestively: AB(x,y) :- A(x,z), B(z,y).
+
+    The query whose enumeration computes sparse Boolean matrix products
+    (Theorem 3.15).  Structurally identical to ``star_query_sjf(2)`` up
+    to renaming.
+    """
+    atoms = (Atom("A", ("x", "z")), Atom("B", ("z", "y")))
+    return ConjunctiveQuery(("x", "y"), atoms, name="q_matmul")
+
+
+def disruptive_trio_query() -> ConjunctiveQuery:
+    """The smallest join query with a disruptive trio: q̂*_2 (sjf).
+
+    Under the order x1 > x2 > z the trio is (x1, x2, z): both pairs
+    (x1,z) and (x2,z) share an atom but (x1,x2) do not, and z comes
+    last.
+    """
+    return star_query_full(2, self_join_free=True)
+
+
+def semijoin_reducible_query() -> ConjunctiveQuery:
+    """A 3-atom acyclic non-path query used in Yannakakis tests."""
+    atoms = (
+        Atom("R", ("x", "y")),
+        Atom("S", ("y", "z")),
+        Atom("T", ("y", "w")),
+    )
+    return ConjunctiveQuery(("x", "y", "z", "w"), atoms, name="q_tree")
+
+
+def free_connex_pair() -> Sequence[ConjunctiveQuery]:
+    """A (free-connex, non-free-connex) pair over the same body.
+
+    Both are acyclic path queries ``R(x,y), S(y,z)``; the first keeps
+    ``y`` free (free-connex), the second projects ``y`` out, leaving
+    head {x, z} which is *not* an acyclic extension — the canonical
+    non-free-connex example (it embeds q*_2).
+    """
+    atoms = (Atom("R", ("x", "y")), Atom("S", ("y", "z")))
+    fc = ConjunctiveQuery(("x", "y", "z"), atoms, name="q_path2_full")
+    nfc = ConjunctiveQuery(("x", "z"), atoms, name="q_path2_ends")
+    return (fc, nfc)

@@ -1,0 +1,143 @@
+"""Homomorphisms, containment, equivalence and cores of CQs.
+
+The survey opens with combined complexity: evaluating CQs is NP-hard
+by Chandra–Merlin [29], because evaluation *is* homomorphism testing.
+A production CQ library needs the Chandra–Merlin toolkit — containment
+(q1 ⊆ q2 iff q2 maps homomorphically into q1), equivalence, and the
+*core* (the minimal equivalent query) — not least because the
+dichotomies of the paper are really statements about cores: a query
+with redundant atoms classifies like its core.
+
+A homomorphism from q2 to q1 maps q2's variables to q1's variables
+such that every atom of q2 becomes an atom of q1 (same relation
+symbol) and head variables are preserved pointwise.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.query.atoms import Atom
+from repro.query.cq import ConjunctiveQuery
+
+Mapping = Dict[str, str]
+
+
+def find_homomorphism(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Optional[Mapping]:
+    """A homomorphism from ``source`` to ``target``, or None.
+
+    Head-preserving: the i-th head variable of ``source`` must map to
+    the i-th head variable of ``target`` (so both queries need equal
+    head lengths).  Backtracking over source atoms; exponential in
+    query size, as it must be (the problem is NP-complete [29]).
+    """
+    if len(source.head) != len(target.head):
+        return None
+    assignment: Mapping = {}
+    for s_var, t_var in zip(source.head, target.head):
+        existing = assignment.get(s_var)
+        if existing is not None and existing != t_var:
+            return None
+        assignment[s_var] = t_var
+
+    target_by_symbol: Dict[str, List[Atom]] = {}
+    for atom in target.atoms:
+        target_by_symbol.setdefault(atom.relation, []).append(atom)
+
+    atoms = sorted(
+        source.atoms,
+        key=lambda a: -sum(1 for v in a.variables if v in assignment),
+    )
+
+    def extend(index: int) -> bool:
+        if index == len(atoms):
+            return True
+        atom = atoms[index]
+        for candidate in target_by_symbol.get(atom.relation, ()):
+            if candidate.arity != atom.arity:
+                continue
+            added: List[str] = []
+            ok = True
+            for s_var, t_var in zip(atom.variables, candidate.variables):
+                bound = assignment.get(s_var)
+                if bound is None:
+                    assignment[s_var] = t_var
+                    added.append(s_var)
+                elif bound != t_var:
+                    ok = False
+                    break
+            if ok and extend(index + 1):
+                return True
+            for var in added:
+                del assignment[var]
+        return False
+
+    if extend(0):
+        return dict(assignment)
+    return None
+
+
+def is_contained_in(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> bool:
+    """Chandra–Merlin: q1 ⊆ q2 iff there is a homomorphism q2 → q1."""
+    return find_homomorphism(q2, q1) is not None
+
+
+def are_equivalent(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> bool:
+    """Semantic equivalence: mutual containment."""
+    return is_contained_in(q1, q2) and is_contained_in(q2, q1)
+
+
+def _drop_atom(
+    query: ConjunctiveQuery, index: int
+) -> Optional[ConjunctiveQuery]:
+    """The query without atom ``index``, or None if that is unsafe."""
+    atoms = tuple(
+        atom for i, atom in enumerate(query.atoms) if i != index
+    )
+    if not atoms:
+        return None
+    remaining = set()
+    for atom in atoms:
+        remaining |= atom.scope
+    if not set(query.head) <= remaining:
+        return None
+    return ConjunctiveQuery(query.head, atoms, name=query.name)
+
+
+def core(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The core: a minimal equivalent subquery.
+
+    Greedily drops atoms whose removal preserves equivalence (checked
+    by mutual homomorphism).  The result is unique up to isomorphism;
+    the classifier should be applied to cores, since e.g. a triangle
+    with a redundant fourth atom classifies like the triangle.
+    """
+    current = query
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current.atoms)):
+            candidate = _drop_atom(current, index)
+            if candidate is None:
+                continue
+            # Dropping atoms only enlarges the result; equivalence
+            # holds iff the smaller query maps back into... precisely:
+            # candidate ⊆ current always fails to be automatic for
+            # projections, so check both directions explicitly.
+            if are_equivalent(candidate, current):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """Is the query its own core (no atom removable)?"""
+    return len(core(query).atoms) == len(query.atoms)

@@ -1,0 +1,95 @@
+"""A small parser for datalog-style conjunctive query text.
+
+Grammar (whitespace-insensitive)::
+
+    query  :=  head ":-" body
+    head   :=  name "(" varlist? ")"
+    body   :=  atom ("," atom)*
+    atom   :=  name "(" varlist ")"
+    varlist:=  var ("," var)*
+
+Examples::
+
+    parse_query("q(x, y) :- R(x, z), S(z, y)")
+    parse_query("q() :- R(x, y), R(y, z), R(z, x)")   # Boolean, self-joins
+
+Only variables are allowed in atoms (no constants); the paper's
+reductions realize constants through relation contents instead.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.query.atoms import Atom
+from repro.query.cq import ConjunctiveQuery
+
+_ATOM_RE = re.compile(
+    r"\s*(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*\(\s*(?P<args>[^()]*?)\s*\)\s*"
+)
+
+
+class QueryParseError(ValueError):
+    """Raised when query text does not match the grammar."""
+
+
+def _parse_atom_text(text: str, what: str) -> Tuple[str, Tuple[str, ...]]:
+    match = _ATOM_RE.fullmatch(text)
+    if match is None:
+        raise QueryParseError(f"malformed {what}: {text!r}")
+    name = match.group("name")
+    args_text = match.group("args").strip()
+    if not args_text:
+        return name, ()
+    args = tuple(a.strip() for a in args_text.split(","))
+    for arg in args:
+        if not arg.isidentifier():
+            raise QueryParseError(
+                f"{what} argument {arg!r} is not a variable name"
+            )
+    return name, args
+
+
+def _split_atoms(body: str) -> List[str]:
+    """Split the body on commas that sit *outside* parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in body:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise QueryParseError("unbalanced parentheses in body")
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise QueryParseError("unbalanced parentheses in body")
+    parts.append("".join(current))
+    return parts
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query from datalog-style text."""
+    if ":-" not in text:
+        raise QueryParseError("query text must contain ':-'")
+    head_text, body_text = text.split(":-", 1)
+    name, head_vars = _parse_atom_text(head_text, "head")
+    body_text = body_text.strip()
+    if not body_text:
+        raise QueryParseError("query body is empty")
+    atoms = []
+    for part in _split_atoms(body_text):
+        part = part.strip()
+        if not part:
+            raise QueryParseError("empty atom in body")
+        rel, args = _parse_atom_text(part, "atom")
+        if not args:
+            raise QueryParseError(f"atom {rel!r} has no variables")
+        atoms.append(Atom(rel, args))
+    return ConjunctiveQuery(head_vars, atoms, name=name)

@@ -1,0 +1,75 @@
+"""The paper's fine-grained reductions, executable end to end.
+
+Each module implements one construction from the paper, with the
+instance-size accounting its proof performs:
+
+======================================  =====================================
+:mod:`~repro.reductions.triangle_cq`    Prop 3.3 — triangle → cyclic CQ
+:mod:`~repro.reductions.hyperclique_lw` Thm 3.5 — hyperclique → LW query
+:mod:`~repro.reductions.dominating_set_star`  Lemma 3.9 — k'-DS → #star
+:mod:`~repro.reductions.bmm_star`       Thm 3.15 — sparse BMM → star enum
+:mod:`~repro.reductions.triangle_testing`  Lemmas 3.20/3.21/3.23
+:mod:`~repro.reductions.threesum_sum_order`  Lemma 3.25 — 3SUM → sum DA
+:mod:`~repro.reductions.nesetril_poljak`  Thm 4.1 — k-clique → triangle
+:mod:`~repro.reductions.clique_embedding`  Sec 4.2 — clique embeddings
+:mod:`~repro.reductions.hypotheses`     Hypotheses 1–8 as data
+======================================  =====================================
+"""
+
+from repro.reductions.bmm_star import bmm_via_enumeration, build_star_database
+from repro.reductions.clique_embedding import (
+    CliqueEmbedding,
+    example_5cycle_embedding,
+    figure1_ascii,
+)
+from repro.reductions.embedding_search import (
+    best_embedding,
+    embedding_power_lower_bound,
+    iter_embeddings,
+)
+from repro.reductions.dominating_set_star import (
+    DominatingSetToStarCounting,
+    blocked_star_query,
+)
+from repro.reductions.hyperclique_lw import (
+    HypercliqueToLoomisWhitney,
+    permutation_relation,
+)
+from repro.reductions.hypotheses import ALL_HYPOTHESES, Hypothesis
+from repro.reductions.nesetril_poljak import (
+    build_triangle_database,
+    has_k_clique_np,
+    split_k,
+)
+from repro.reductions.threesum_sum_order import ThreeSumToSumOrderAccess
+from repro.reductions.triangle_cq import TriangleToCyclicCQ
+from repro.reductions.triangle_testing import (
+    detect_triangle_via_direct_access,
+    detect_triangle_via_testing,
+    star_database_from_graph,
+)
+
+__all__ = [
+    "ALL_HYPOTHESES",
+    "CliqueEmbedding",
+    "DominatingSetToStarCounting",
+    "Hypothesis",
+    "HypercliqueToLoomisWhitney",
+    "ThreeSumToSumOrderAccess",
+    "TriangleToCyclicCQ",
+    "best_embedding",
+    "blocked_star_query",
+    "bmm_via_enumeration",
+    "embedding_power_lower_bound",
+    "iter_embeddings",
+    "build_star_database",
+    "build_triangle_database",
+    "detect_triangle_via_direct_access",
+    "detect_triangle_via_testing",
+    "example_5cycle_embedding",
+    "figure1_ascii",
+    "has_k_clique_np",
+    "permutation_relation",
+    "split_k",
+    "star_database_from_graph",
+]

@@ -1,0 +1,122 @@
+"""Automatic search for clique embeddings (the [41] measure).
+
+Section 4.2 notes the embedding technique "can be developed into a
+measure for queries called clique embedding power".  This module makes
+the measure computable for small queries: enumerate candidate
+embeddings ψ of K_ℓ (each ψ(x) a connected variable set), keep the
+valid ones, and maximize ℓ / max-edge-depth — the exponent that an
+embedding certifies as a conditional lower bound for the query (under
+the matching clique hypothesis).
+
+The search is exponential in the query size and the block-size cap;
+queries are constant-sized, and the cap defaults small.  Known values
+recovered by the tests: emb(q△) = 3/2, emb(q°5) ≥ 5/4 (Example 4.2),
+emb(LW_k) ≥ k/(k-1).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.cq import ConjunctiveQuery
+from repro.reductions.clique_embedding import CliqueEmbedding
+
+
+def connected_variable_sets(
+    query: ConjunctiveQuery, max_size: int
+) -> List[frozenset]:
+    """All connected, non-empty variable sets of size ≤ ``max_size``."""
+    hypergraph = query.hypergraph()
+    variables = sorted(hypergraph.vertices)
+    out: List[frozenset] = []
+    for size in range(1, max_size + 1):
+        for combo in combinations(variables, size):
+            candidate = frozenset(combo)
+            if hypergraph.induced(candidate).is_connected():
+                out.append(candidate)
+    return out
+
+
+def _pairs_ok(
+    hypergraph: Hypergraph, blocks: Sequence[frozenset]
+) -> bool:
+    """Property (2) for the last block against all earlier ones."""
+    new = blocks[-1]
+    for old in blocks[:-1]:
+        if new & old:
+            continue
+        if not any(e & new and e & old for e in hypergraph.edges):
+            return False
+    return True
+
+
+def iter_embeddings(
+    query: ConjunctiveQuery,
+    clique_size: int,
+    max_block: int = 3,
+) -> Iterator[CliqueEmbedding]:
+    """All valid embeddings of K_ℓ, blocks capped at ``max_block``.
+
+    Blocks are chosen in non-decreasing candidate-index order, which
+    quotients out the permutation symmetry of the clique vertices
+    (any ordering of ψ is the same embedding).
+    """
+    hypergraph = query.hypergraph()
+    candidates = connected_variable_sets(query, max_block)
+
+    def extend(blocks: List[frozenset], start: int) -> Iterator[Tuple]:
+        if len(blocks) == clique_size:
+            yield tuple(blocks)
+            return
+        for index in range(start, len(candidates)):
+            blocks.append(candidates[index])
+            if _pairs_ok(hypergraph, blocks):
+                yield from extend(blocks, index)
+            blocks.pop()
+
+    for psi in extend([], 0):
+        embedding = CliqueEmbedding(query=query, psi=psi)
+        embedding.validate()
+        yield embedding
+
+
+def best_embedding(
+    query: ConjunctiveQuery,
+    clique_size: int,
+    max_block: int = 3,
+) -> Optional[CliqueEmbedding]:
+    """The embedding of K_ℓ with maximum certified exponent, if any."""
+    best: Optional[CliqueEmbedding] = None
+    for embedding in iter_embeddings(query, clique_size, max_block):
+        if (
+            best is None
+            or embedding.power_lower_bound() > best.power_lower_bound()
+        ):
+            best = embedding
+    return best
+
+
+def embedding_power_lower_bound(
+    query: ConjunctiveQuery,
+    max_clique_size: int = 6,
+    max_block: int = 3,
+) -> Tuple[float, Optional[CliqueEmbedding]]:
+    """max over ℓ ≤ max_clique_size of the best certified exponent.
+
+    Returns ``(power, embedding)``; power 0.0 when no embedding exists
+    (cannot happen for queries with at least one atom: singleton
+    blocks always embed K_1).
+    """
+    best_power = 0.0
+    best: Optional[CliqueEmbedding] = None
+    for clique_size in range(1, max_clique_size + 1):
+        embedding = best_embedding(query, clique_size, max_block)
+        if embedding is None:
+            continue
+        power = embedding.power_lower_bound()
+        if power > best_power:
+            best_power = power
+            best = embedding
+    return best_power, best

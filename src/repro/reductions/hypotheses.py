@@ -1,0 +1,117 @@
+"""The fine-grained hypotheses the paper's lower bounds rest on.
+
+Each hypothesis is a small data object so the classifier
+(:mod:`repro.classify`) can cite exactly which assumption makes each
+predicted bound tight, the way the paper's theorem statements do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """A named fine-grained hardness hypothesis."""
+
+    key: str
+    name: str
+    number: int  # the hypothesis number in the paper
+    statement: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Hypothesis {self.number} ({self.name})"
+
+
+SPARSE_BMM = Hypothesis(
+    key="sparse-bmm",
+    name="Sparse Boolean Matrix Multiplication Hypothesis",
+    number=1,
+    statement=(
+        "No algorithm solves sparse Boolean matrix multiplication in "
+        "time Õ(m), m = #non-zeros of inputs and output."
+    ),
+)
+
+TRIANGLE = Hypothesis(
+    key="triangle",
+    name="Triangle Hypothesis",
+    number=2,
+    statement=(
+        "No algorithm decides in time Õ(m) whether an m-edge graph "
+        "contains a triangle."
+    ),
+)
+
+HYPERCLIQUE = Hypothesis(
+    key="hyperclique",
+    name="Hyperclique Hypothesis",
+    number=3,
+    statement=(
+        "For no k > h > 2 is there ε > 0 and an algorithm deciding "
+        "size-k hypercliques in h-uniform n-vertex hypergraphs in "
+        "time Õ(n^{k-ε})."
+    ),
+)
+
+SETH = Hypothesis(
+    key="seth",
+    name="Strong Exponential Time Hypothesis",
+    number=4,
+    statement=(
+        "For every ε > 0 there is k such that k-SAT on n variables "
+        "cannot be solved in time Õ(2^{n(1-ε)})."
+    ),
+)
+
+THREESUM = Hypothesis(
+    key="3sum",
+    name="3SUM Hypothesis",
+    number=5,
+    statement=(
+        "No algorithm solves 3SUM on lists of length n in time "
+        "Õ(n^{2-ε}) for any ε > 0."
+    ),
+)
+
+COMBINATORIAL_K_CLIQUE = Hypothesis(
+    key="combinatorial-k-clique",
+    name="Combinatorial k-Clique Hypothesis",
+    number=6,
+    statement=(
+        "Combinatorial algorithms cannot solve k-Clique in time "
+        "Õ(n^{k-ε}) for any ε > 0 and k ≥ 3."
+    ),
+)
+
+MIN_WEIGHT_K_CLIQUE = Hypothesis(
+    key="min-weight-k-clique",
+    name="Min-Weight-k-Clique Hypothesis",
+    number=7,
+    statement=(
+        "No algorithm solves Min-Weight-k-Clique in time Õ(n^{k-ε}) "
+        "for any ε > 0 and k ≥ 3."
+    ),
+)
+
+ZERO_K_CLIQUE = Hypothesis(
+    key="zero-k-clique",
+    name="Zero-k-Clique Hypothesis",
+    number=8,
+    statement=(
+        "No algorithm solves Zero-k-Clique in time Õ(n^{k-ε}) for any "
+        "ε > 0 and k ≥ 3."
+    ),
+)
+
+ALL_HYPOTHESES: Tuple[Hypothesis, ...] = (
+    SPARSE_BMM,
+    TRIANGLE,
+    HYPERCLIQUE,
+    SETH,
+    THREESUM,
+    COMBINATORIAL_K_CLIQUE,
+    MIN_WEIGHT_K_CLIQUE,
+    ZERO_K_CLIQUE,
+)

@@ -1,0 +1,42 @@
+"""Aggregation over semirings (paper Section 4.1.2).
+
+A commutative semiring ``(K, ⊕, ⊗, 0, 1)`` turns query evaluation into
+aggregation: each database tuple carries a weight, an answer's weight is
+the ⊗-product of its atoms' tuple weights, and the aggregate is the
+⊕-sum over answers.  Instantiations used in the paper and here:
+
+- Boolean semiring — satisfiability;
+- counting semiring (ℕ, +, ×) — answer counting (Section 3.2);
+- tropical semiring (min, +) — minimum-weight answers; on the k-clique
+  query this *is* Min-Weight-k-Clique (Section 4.1.2, Example 4.3).
+
+:mod:`repro.semiring.faq` aggregates acyclic join queries in Õ(m) by
+message passing over a join tree (the FAQ / AJAR style algorithm), and
+cyclic ones through generic join in Õ(m^{ρ*}).
+"""
+
+from repro.semiring.faq import (
+    WeightedDatabase,
+    aggregate_acyclic,
+    aggregate_frames,
+    aggregate_generic,
+)
+from repro.semiring.semirings import (
+    BOOLEAN,
+    COUNTING,
+    MAX_PLUS,
+    MIN_PLUS,
+    Semiring,
+)
+
+__all__ = [
+    "BOOLEAN",
+    "COUNTING",
+    "MAX_PLUS",
+    "MIN_PLUS",
+    "Semiring",
+    "WeightedDatabase",
+    "aggregate_acyclic",
+    "aggregate_frames",
+    "aggregate_generic",
+]

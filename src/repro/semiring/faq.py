@@ -1,0 +1,203 @@
+"""FAQ-style aggregation of join queries over a semiring.
+
+For an acyclic join query with join tree T, message passing computes
+
+    ⊕_{a ∈ q(D)}  ⊗_{i}  w_i(π_{X_i}(a))
+
+in Õ(m): bottom-up, each node's tuple weight is its own weight ⊗ the
+⊕-sums of matching child messages, grouped by the child separator.
+With the counting semiring and unit weights this is exactly the
+linear-time answer counting of Theorem 3.8; with the tropical semiring
+it is min-weight aggregation (Section 4.1.2).
+
+Cyclic join queries fall back to :func:`aggregate_generic`: enumerate
+the full join with the worst-case-optimal join (Õ(m^{ρ*})) and fold.
+The gap between the two paths on the clique query is experiment E13.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.db.database import Database
+from repro.hypergraph.gyo import join_tree
+from repro.hypergraph.jointree import JoinTree
+from repro.joins.frame import Frame
+from repro.joins.generic_join import generic_join
+from repro.joins.semijoin import atom_frames, full_reducer_pass
+from repro.query.cq import ConjunctiveQuery
+from repro.semiring.semirings import Semiring
+
+Row = Tuple[object, ...]
+WeightFn = Callable[[int, Row], object]
+
+
+class WeightedDatabase:
+    """A database whose tuples carry semiring weights.
+
+    Weights are stored per relation name and tuple; missing entries
+    default to the semiring's ``one`` (unweighted tuples are neutral),
+    matching the convention that an unweighted query aggregates to a
+    pure count/existence value.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self._weights: Dict[str, Dict[Row, object]] = {}
+
+    def set_weight(self, relation: str, row: Row, weight: object) -> None:
+        if tuple(row) not in self.db[relation]:
+            raise KeyError(
+                f"tuple {row} not present in relation {relation!r}"
+            )
+        self._weights.setdefault(relation, {})[tuple(row)] = weight
+
+    def weight(self, relation: str, row: Row, semiring: Semiring) -> object:
+        return self._weights.get(relation, {}).get(tuple(row), semiring.one)
+
+    def atom_weight_fn(
+        self, query: ConjunctiveQuery, semiring: Semiring
+    ) -> WeightFn:
+        """A per-atom weight function for the given query.
+
+        Atom ``i``'s weight of a *frame row* is the stored weight of the
+        corresponding relation tuple.  Atoms with repeated variables map
+        the deduplicated frame row back to the full relation tuple.
+        """
+        expanders = []
+        for atom in query.atoms:
+            distinct: list = []
+            for v in atom.variables:
+                if v not in distinct:
+                    distinct.append(v)
+            index = {v: i for i, v in enumerate(distinct)}
+            positions = tuple(index[v] for v in atom.variables)
+            expanders.append((atom.relation, positions))
+
+        def weight(atom_index: int, frame_row: Row) -> object:
+            relation, positions = expanders[atom_index]
+            full_row = tuple(frame_row[p] for p in positions)
+            return self.weight(relation, full_row, semiring)
+
+        return weight
+
+
+def aggregate_acyclic(
+    query: ConjunctiveQuery,
+    db: Database,
+    semiring: Semiring,
+    weights: Optional[WeightFn] = None,
+    tree: Optional[JoinTree] = None,
+) -> object:
+    """Aggregate an acyclic *join* query over a semiring in Õ(m).
+
+    ``weights(i, row)`` gives atom i's weight of a frame row (defaults
+    to the semiring ``one``, so the counting semiring yields the answer
+    count of Theorem 3.8).  Raises on cyclic or projected queries.
+    """
+    if not query.is_join_query():
+        raise ValueError(
+            "aggregate_acyclic requires a join query; project first "
+            "(for free-connex counting see repro.counting)"
+        )
+    if tree is None:
+        tree = join_tree(query.hypergraph())
+    frames = dict(enumerate(atom_frames(query, db)))
+    reduced = full_reducer_pass(frames, tree)
+    return aggregate_frames(reduced, tree, semiring, weights)
+
+
+def aggregate_frames(
+    frames: Mapping[int, Frame],
+    tree: JoinTree,
+    semiring: Semiring,
+    weights: Optional[WeightFn] = None,
+) -> object:
+    """Message passing over already-reduced frames on a join tree.
+
+    ``frames`` must be globally consistent (run the full reducer first);
+    otherwise tuples without child matches are ⊕-skipped, which computes
+    the aggregate over the actual join but may visit dead tuples.
+    """
+    if weights is None:
+        weights = lambda i, row: semiring.one  # noqa: E731
+    # messages[node]: dict mapping separator key -> ⊕-sum over the
+    # node's tuples (matching that key) of (own weight ⊗ children sums).
+    messages: Dict[int, Dict[Row, object]] = {}
+    node_value: Dict[int, object] = {}
+    for node in tree.bottom_up():
+        frame = frames[node]
+        child_info = []
+        for child in tree.children(node):
+            # Key order must match the order the child used when it
+            # grouped its message — sorted() on both sides makes the
+            # exchange canonical (multi-variable separators!).
+            sep = tuple(
+                sorted(
+                    v for v in frame.variables
+                    if v in frames[child].variables
+                )
+            )
+            child_info.append(
+                (frame.positions(sep), messages.pop(child))
+            )
+        sep_to_parent = tree.separator(node)
+        parent_key_vars = tuple(
+            sorted(v for v in frame.variables if v in sep_to_parent)
+        )
+        parent_positions = frame.positions(parent_key_vars)
+        out: Dict[Row, object] = {}
+        for row in frame.rows:
+            value = weights(node, row)
+            dead = False
+            for sep_positions, child_message in child_info:
+                key = tuple(row[p] for p in sep_positions)
+                incoming = child_message.get(key)
+                if incoming is None:
+                    dead = True
+                    break
+                value = semiring.times(value, incoming)
+            if dead:
+                continue
+            key = tuple(row[p] for p in parent_positions)
+            if key in out:
+                out[key] = semiring.plus(out[key], value)
+            else:
+                out[key] = value
+        messages[node] = out
+        node_value[node] = semiring.sum(out.values())
+    return semiring.product(node_value[root] for root in tree.roots)
+
+
+def aggregate_generic(
+    query: ConjunctiveQuery,
+    db: Database,
+    semiring: Semiring,
+    weights: Optional[WeightFn] = None,
+) -> object:
+    """Aggregate any join query via worst-case-optimal enumeration.
+
+    Runs in Õ(m^{ρ*}); this is the baseline path for cyclic queries
+    such as the k-clique and k-cycle queries of Section 4.
+    """
+    if not query.is_join_query():
+        raise ValueError("aggregate_generic requires a join query")
+    if weights is None:
+        weights = lambda i, row: semiring.one  # noqa: E731
+    head = tuple(query.head)
+    position = {v: i for i, v in enumerate(head)}
+    atom_positions = []
+    for atom in query.atoms:
+        distinct: list = []
+        for v in atom.variables:
+            if v not in distinct:
+                distinct.append(v)
+        atom_positions.append(tuple(position[v] for v in distinct))
+    total = semiring.zero
+    for answer in generic_join(query, db):
+        value = semiring.one
+        for i, positions in enumerate(atom_positions):
+            row = tuple(answer[p] for p in positions)
+            value = semiring.times(value, weights(i, row))
+        total = semiring.plus(total, value)
+    return total

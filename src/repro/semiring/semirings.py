@@ -1,0 +1,75 @@
+"""Commutative semiring abstraction and the standard instances."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A commutative semiring ``(K, plus, times, zero, one)``.
+
+    ``zero`` is the ⊕-identity (and ⊗-annihilator), ``one`` the
+    ⊗-identity.  No algebraic checking is done at construction; the
+    property-based tests verify the laws for the shipped instances.
+    """
+
+    name: str
+    plus: Callable[[Any, Any], Any]
+    times: Callable[[Any, Any], Any]
+    zero: Any
+    one: Any
+
+    def sum(self, values: Iterable[Any]) -> Any:
+        """⊕-fold with the correct identity."""
+        total = self.zero
+        for value in values:
+            total = self.plus(total, value)
+        return total
+
+    def product(self, values: Iterable[Any]) -> Any:
+        """⊗-fold with the correct identity."""
+        total = self.one
+        for value in values:
+            total = self.times(total, value)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+BOOLEAN = Semiring(
+    name="boolean",
+    plus=lambda a, b: a or b,
+    times=lambda a, b: a and b,
+    zero=False,
+    one=True,
+)
+
+COUNTING = Semiring(
+    name="counting",
+    plus=lambda a, b: a + b,
+    times=lambda a, b: a * b,
+    zero=0,
+    one=1,
+)
+
+# The tropical semiring: ⊕ = min, ⊗ = +.  Aggregating the k-clique join
+# query over it is Min-Weight-k-Clique (paper Section 4.1.2).
+MIN_PLUS = Semiring(
+    name="min-plus",
+    plus=min,
+    times=lambda a, b: a + b,
+    zero=math.inf,
+    one=0,
+)
+
+MAX_PLUS = Semiring(
+    name="max-plus",
+    plus=max,
+    times=lambda a, b: a + b,
+    zero=-math.inf,
+    one=0,
+)

@@ -1,0 +1,55 @@
+"""Reference solvers for the source problems of the paper's reductions.
+
+Every reduction in :mod:`repro.reductions` starts from one of these
+problems; the solvers here provide ground truth (brute force) and the
+best-practical baselines, so each reduction can be executed and checked
+end to end:
+
+- triangle finding (Hypothesis 2),
+- k-clique and its weighted variants (Hypotheses 6, 7, 8),
+- hyperclique (Hypothesis 3),
+- dominating set (Theorem 3.10 / SETH),
+- 3SUM (Hypothesis 5).
+"""
+
+from repro.solvers.clique import (
+    has_k_clique_brute,
+    k_clique_witness,
+    min_weight_k_clique_brute,
+    zero_k_clique_brute,
+)
+from repro.solvers.dominating_set import (
+    dominating_set_witness,
+    has_dominating_set,
+)
+from repro.solvers.hyperclique import (
+    has_hyperclique_brute,
+    hyperclique_witness,
+)
+from repro.solvers.threesum import (
+    threesum_hashing,
+    threesum_quadratic,
+    threesum_witness,
+)
+from repro.solvers.triangle import (
+    find_triangle_naive,
+    has_triangle_ayz,
+    has_triangle_naive,
+)
+
+__all__ = [
+    "dominating_set_witness",
+    "find_triangle_naive",
+    "has_dominating_set",
+    "has_hyperclique_brute",
+    "has_k_clique_brute",
+    "has_triangle_ayz",
+    "has_triangle_naive",
+    "hyperclique_witness",
+    "k_clique_witness",
+    "min_weight_k_clique_brute",
+    "threesum_hashing",
+    "threesum_quadratic",
+    "threesum_witness",
+    "zero_k_clique_brute",
+]

@@ -1,0 +1,106 @@
+"""k-clique solvers: plain, minimum-weight and zero-weight variants.
+
+The plain problem has the Õ(n^{ωk/3}) Nešetřil–Poljak algorithm
+(Theorem 4.1, implemented as a reduction in
+:mod:`repro.reductions.nesetril_poljak`); the weighted variants are
+conjectured to need n^{k-o(1)} (Hypotheses 7 and 8), which is exactly
+why they make good sources for superlinear lower bounds.  Here we give
+the exact branch-and-bound baselines used as ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import networkx as nx
+
+EdgeWeights = Dict[FrozenSet, float]
+
+
+def _ordered_neighbors(graph: nx.Graph) -> Dict[object, set]:
+    return {v: set(graph.neighbors(v)) - {v} for v in graph.nodes()}
+
+
+def k_clique_witness(
+    graph: nx.Graph, k: int
+) -> Optional[Tuple[object, ...]]:
+    """A k-clique (sorted tuple) or None, by neighborhood branching."""
+    if k <= 0:
+        return ()
+    adjacency = _ordered_neighbors(graph)
+    nodes = sorted(graph.nodes(), key=repr)
+
+    def extend(clique: List, candidates: List) -> Optional[Tuple]:
+        if len(clique) == k:
+            return tuple(clique)
+        if len(clique) + len(candidates) < k:
+            return None
+        for index, v in enumerate(candidates):
+            rest = [u for u in candidates[index + 1 :] if u in adjacency[v]]
+            found = extend(clique + [v], rest)
+            if found is not None:
+                return found
+        return None
+
+    return extend([], nodes)
+
+
+def has_k_clique_brute(graph: nx.Graph, k: int) -> bool:
+    """Does the graph contain a k-clique?"""
+    return k_clique_witness(graph, k) is not None
+
+
+def _edge_weight(weights: EdgeWeights, u, v) -> Optional[float]:
+    return weights.get(frozenset((u, v)))
+
+
+def min_weight_k_clique_brute(
+    graph: nx.Graph, k: int, weights: EdgeWeights
+) -> Optional[float]:
+    """Minimum total edge weight of a k-clique; None when no k-clique.
+
+    Exhaustive over k-subsets with adjacency pruning — the Θ(n^k)
+    baseline the Min-Weight-k-Clique Hypothesis (Hypothesis 7) says is
+    essentially optimal.
+    """
+    best: Optional[float] = None
+    adjacency = _ordered_neighbors(graph)
+    for combo in combinations(sorted(graph.nodes(), key=repr), k):
+        total = 0.0
+        ok = True
+        for u, v in combinations(combo, 2):
+            if v not in adjacency[u]:
+                ok = False
+                break
+            weight = _edge_weight(weights, u, v)
+            if weight is None:
+                ok = False
+                break
+            total += weight
+        if ok and (best is None or total < best):
+            best = total
+    return best
+
+
+def zero_k_clique_brute(
+    graph: nx.Graph, k: int, weights: EdgeWeights
+) -> Optional[Tuple[object, ...]]:
+    """A k-clique of total edge weight exactly 0, or None (Hypothesis 8)."""
+    adjacency = _ordered_neighbors(graph)
+    for combo in combinations(sorted(graph.nodes(), key=repr), k):
+        total = 0.0
+        ok = True
+        for u, v in combinations(combo, 2):
+            if v not in adjacency[u]:
+                ok = False
+                break
+            weight = _edge_weight(weights, u, v)
+            if weight is None:
+                ok = False
+                break
+            total += weight
+        if ok and total == 0:
+            return combo
+    return None

@@ -1,0 +1,77 @@
+"""Hyperclique finding in uniform hypergraphs (Hypothesis 3's problem).
+
+A *hyperclique* of size k in an h-uniform hypergraph is a vertex set
+V' of size k all of whose h-subsets are edges.  For h > 2 no n^{k-ε}
+algorithm is known (unlike graphs, where matrix multiplication helps —
+Theorem 4.1), which is the content of the Hyperclique Hypothesis.
+
+Hypergraphs here are plain collections of frozensets over hashable
+vertices; uniformity is validated.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+
+def normalize_hypergraph(
+    edges: Iterable[Iterable], h: int
+) -> Set[FrozenSet]:
+    """Validate h-uniformity and freeze the edge set."""
+    out: Set[FrozenSet] = set()
+    for edge in edges:
+        frozen = frozenset(edge)
+        if len(frozen) != h:
+            raise ValueError(
+                f"edge {sorted(frozen, key=repr)} has size {len(frozen)}, "
+                f"expected {h}"
+            )
+        out.add(frozen)
+    return out
+
+
+def hyperclique_witness(
+    edges: Iterable[Iterable], h: int, k: int
+) -> Optional[Tuple]:
+    """A size-k hyperclique (sorted tuple) or None.
+
+    Branch and bound over vertices: a partial clique is extended only
+    by vertices that complete every h-subset involving them.  This is
+    the exhaustive-search baseline the Hyperclique Hypothesis declares
+    essentially unbeatable for h > 2.
+    """
+    if k < h:
+        raise ValueError("hyperclique size k must be at least the arity h")
+    edge_set = normalize_hypergraph(edges, h)
+    vertices: List = sorted({v for e in edge_set for v in e}, key=repr)
+
+    def compatible(clique: List, v) -> bool:
+        if len(clique) < h - 1:
+            return True
+        return all(
+            frozenset(sub + (v,)) in edge_set
+            for sub in combinations(clique, h - 1)
+        )
+
+    def extend(clique: List, start: int) -> Optional[Tuple]:
+        if len(clique) == k:
+            return tuple(clique)
+        if len(clique) + (len(vertices) - start) < k:
+            return None
+        for index in range(start, len(vertices)):
+            v = vertices[index]
+            if compatible(clique, v):
+                found = extend(clique + [v], index + 1)
+                if found is not None:
+                    return found
+        return None
+
+    return extend([], 0)
+
+
+def has_hyperclique_brute(
+    edges: Iterable[Iterable], h: int, k: int
+) -> bool:
+    """Does the h-uniform hypergraph contain a k-hyperclique?"""
+    return hyperclique_witness(edges, h, k) is not None

@@ -1,0 +1,56 @@
+"""3SUM solvers (Hypothesis 5's problem).
+
+Given lists A, B, C of n integers (the paper normalizes them into
+{-n^4..n^4}), decide whether a + b = c for some a ∈ A, b ∈ B, c ∈ C.
+Both classical quadratic algorithms are provided: the sort-and-scan
+one the paper sketches, and hashing.  The 3SUM Hypothesis asserts
+neither can be beaten by a polynomial factor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def threesum_hashing(
+    a: Sequence[int], b: Sequence[int], c: Sequence[int]
+) -> bool:
+    """Hash the target list, scan all pairs: O(n^2) expected."""
+    targets = set(c)
+    # Deduplicate the smaller side to cut the constant.
+    left = sorted(set(a))
+    right = sorted(set(b))
+    for x in left:
+        for y in right:
+            if x + y in targets:
+                return True
+    return False
+
+
+def threesum_quadratic(
+    a: Sequence[int], b: Sequence[int], c: Sequence[int]
+) -> bool:
+    """The paper's Õ(n^2) algorithm: sort {a+b} and merge against C."""
+    sums = sorted({x + y for x in set(a) for y in set(b)})
+    targets = sorted(set(c))
+    i = j = 0
+    while i < len(sums) and j < len(targets):
+        if sums[i] == targets[j]:
+            return True
+        if sums[i] < targets[j]:
+            i += 1
+        else:
+            j += 1
+    return False
+
+
+def threesum_witness(
+    a: Sequence[int], b: Sequence[int], c: Sequence[int]
+) -> Optional[Tuple[int, int, int]]:
+    """A witness triple (a, b, c) with a + b = c, or None."""
+    by_target = set(c)
+    for x in a:
+        for y in b:
+            if x + y in by_target:
+                return (x, y, x + y)
+    return None

@@ -1,0 +1,24 @@
+"""Shared utilities: deterministic RNG helpers, timing, scaling-exponent fits.
+
+These are the measurement tools used throughout the benchmark harness to
+turn wall-clock observations into the *exponents* that the paper's
+fine-grained claims are about.
+"""
+
+from repro.util.rng import make_rng, sample_distinct_pairs
+from repro.util.scaling import (
+    ScalingFit,
+    fit_scaling_exponent,
+    geometric_sizes,
+)
+from repro.util.timing import Stopwatch, time_call
+
+__all__ = [
+    "ScalingFit",
+    "Stopwatch",
+    "fit_scaling_exponent",
+    "geometric_sizes",
+    "make_rng",
+    "sample_distinct_pairs",
+    "time_call",
+]

@@ -1,0 +1,117 @@
+"""Empirical scaling-exponent estimation.
+
+Fine-grained complexity statements are about exponents: "no algorithm in
+time O(m^{4/3-eps})".  To compare a measured algorithm against such a
+claim we time it over a geometric ladder of input sizes and fit the
+slope of log(time) against log(size) by least squares.  The slope is the
+empirical exponent; the fit's R^2 tells us whether a power law is a good
+model at all (cache effects and interpreter overhead show up as low R^2
+at small sizes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Result of a log-log least-squares fit ``time ~ c * size^exponent``."""
+
+    exponent: float
+    log_constant: float
+    r_squared: float
+    points: Tuple[Tuple[float, float], ...]
+
+    def predict(self, size: float) -> float:
+        """Predicted running time at ``size`` under the fitted power law."""
+        return math.exp(self.log_constant) * size**self.exponent
+
+    def within(self, expected: float, tolerance: float) -> bool:
+        """Is the fitted exponent within ``tolerance`` of ``expected``?"""
+        return abs(self.exponent - expected) <= tolerance
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"time ~ size^{self.exponent:.3f} (R^2 = {self.r_squared:.4f}, "
+            f"{len(self.points)} points)"
+        )
+
+
+def fit_scaling_exponent(
+    observations: Sequence[Tuple[float, float]],
+) -> ScalingFit:
+    """Fit a power law to ``(size, seconds)`` observations.
+
+    Ordinary least squares on the log-log transformed data.  Requires at
+    least two observations with positive sizes and times.
+    """
+    points = [(s, t) for s, t in observations if s > 0 and t > 0]
+    if len(points) < 2:
+        raise ValueError("need at least two positive (size, time) points")
+    xs = [math.log(s) for s, _ in points]
+    ys = [math.log(t) for _, t in points]
+    n = len(points)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("all sizes identical; cannot fit an exponent")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return ScalingFit(
+        exponent=slope,
+        log_constant=intercept,
+        r_squared=r_squared,
+        points=tuple(points),
+    )
+
+
+def geometric_sizes(
+    start: int, factor: float, count: int, cap: int = 10**9
+) -> List[int]:
+    """A geometric ladder of integer sizes, deduplicated and capped.
+
+    ``geometric_sizes(100, 2, 4)`` is ``[100, 200, 400, 800]``.  The
+    ladder shape matters: equal spacing in log-space gives every point
+    equal weight in the exponent fit.
+    """
+    if start < 1:
+        raise ValueError("start must be >= 1")
+    if factor <= 1:
+        raise ValueError("factor must be > 1")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    sizes: List[int] = []
+    value = float(start)
+    for _ in range(count):
+        size = min(int(round(value)), cap)
+        if not sizes or size != sizes[-1]:
+            sizes.append(size)
+        value *= factor
+    return sizes
+
+
+def crossover_point(
+    fit_a: ScalingFit, fit_b: ScalingFit
+) -> float:
+    """Input size where two fitted power laws intersect.
+
+    Used to report crossovers ("the BMM-based triangle algorithm
+    overtakes the naive one beyond m ~ X on this machine").  Returns
+    ``math.inf`` when the curves are parallel.
+    """
+    if fit_a.exponent == fit_b.exponent:
+        return math.inf
+    log_size = (fit_b.log_constant - fit_a.log_constant) / (
+        fit_a.exponent - fit_b.exponent
+    )
+    return math.exp(log_size)

@@ -1,0 +1,100 @@
+"""Timing primitives used by the benchmark harness.
+
+The paper's claims are asymptotic, so raw timings only matter insofar as
+they feed the scaling fits in :mod:`repro.util.scaling`.  We still keep
+a small, dependable stopwatch abstraction so that preprocessing time,
+per-answer delay and access time can be measured separately, which is
+exactly the decomposition the enumeration/direct-access model uses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Tuple
+
+
+class Stopwatch:
+    """A resettable stopwatch with lap support.
+
+    Laps are what the constant-delay instrumentation uses: each call to
+    :meth:`lap` records the time since the previous lap, so the list of
+    laps for an enumeration run *is* the sequence of delays.
+    """
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+        self._last = self._start
+        self.laps: List[float] = []
+
+    def reset(self) -> None:
+        """Restart the stopwatch and clear recorded laps."""
+        self._start = time.perf_counter()
+        self._last = self._start
+        self.laps = []
+
+    def lap(self) -> float:
+        """Record and return the time since the previous lap."""
+        now = time.perf_counter()
+        delta = now - self._last
+        self._last = now
+        self.laps.append(delta)
+        return delta
+
+    def elapsed(self) -> float:
+        """Total time since construction or the last :meth:`reset`."""
+        return time.perf_counter() - self._start
+
+    def max_lap(self) -> float:
+        """The largest recorded delay (0.0 when no laps were recorded)."""
+        return max(self.laps) if self.laps else 0.0
+
+
+@dataclass
+class TimedResult:
+    """A function result together with how long it took to compute."""
+
+    value: Any
+    seconds: float
+    repeats: int = 1
+    per_call: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.per_call = self.seconds / max(self.repeats, 1)
+
+
+def time_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    repeats: int = 1,
+    **kwargs: Any,
+) -> TimedResult:
+    """Time ``fn(*args, **kwargs)``, optionally repeating it.
+
+    Repeats rerun the call and report the mean; the value returned is
+    from the final run.  Useful for sub-millisecond operations (e.g.
+    single direct-access probes) where one call is below timer noise.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    start = time.perf_counter()
+    value = None
+    for _ in range(repeats):
+        value = fn(*args, **kwargs)
+    seconds = time.perf_counter() - start
+    return TimedResult(value=value, seconds=seconds, repeats=repeats)
+
+
+def time_sweep(
+    fn: Callable[[int], Any], sizes: List[int], repeats: int = 1
+) -> List[Tuple[int, float]]:
+    """Time ``fn(size)`` for each size; returns ``(size, seconds)`` pairs.
+
+    This is the shape every scaling experiment consumes: run the same
+    algorithm over a geometric ladder of input sizes and fit the slope.
+    """
+    out: List[Tuple[int, float]] = []
+    for size in sizes:
+        timed = time_call(fn, size, repeats=repeats)
+        out.append((size, timed.per_call))
+    return out

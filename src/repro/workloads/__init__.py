@@ -1,0 +1,47 @@
+"""Workload generators for every experiment in DESIGN.md.
+
+All generators are seeded and deterministic.  They produce either
+plain-graph/hypergraph instances (for the source problems of the
+reductions) or databases for the catalog queries (for the evaluation
+algorithms), including the adversarial instances the lower-bound
+proofs construct (AGM-tight triangle databases, 3SUM gadgets,
+dominating-set encodings).
+"""
+
+from repro.workloads.databases import (
+    agm_tight_triangle_db,
+    random_database,
+    random_star_db,
+    random_triangle_db,
+)
+from repro.workloads.graphs import (
+    planted_clique_graph,
+    random_graph,
+    random_weighted_graph,
+    triangle_free_graph,
+)
+from repro.workloads.hypergraphs import (
+    plant_hyperclique,
+    random_uniform_hypergraph,
+)
+from repro.workloads.instances import (
+    dominating_set_instance,
+    threesum_instance,
+)
+from repro.workloads.matrices import random_sparse_boolean_matrix
+
+__all__ = [
+    "agm_tight_triangle_db",
+    "dominating_set_instance",
+    "plant_hyperclique",
+    "planted_clique_graph",
+    "random_database",
+    "random_graph",
+    "random_sparse_boolean_matrix",
+    "random_star_db",
+    "random_triangle_db",
+    "random_uniform_hypergraph",
+    "random_weighted_graph",
+    "threesum_instance",
+    "triangle_free_graph",
+]

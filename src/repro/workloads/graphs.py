@@ -1,0 +1,123 @@
+"""Graph instance generators (triangle, clique, dominating-set inputs)."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import networkx as nx
+
+from repro.util.rng import SeedLike, make_rng, sample_distinct_pairs
+
+EdgeWeights = Dict[FrozenSet, float]
+
+
+def random_graph(n: int, m: int, seed: SeedLike = None) -> nx.Graph:
+    """A uniformly random simple graph with n vertices and m edges."""
+    rng = make_rng(seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(
+        sample_distinct_pairs(rng, n, m, ordered=False)
+    )
+    return graph
+
+
+def triangle_free_graph(
+    n: int, m: int, seed: SeedLike = None, plant_triangle: bool = False
+) -> nx.Graph:
+    """A bipartite (hence triangle-free) graph, optionally with one
+    planted triangle.
+
+    Bipartite graphs have no odd cycles, so the no-instance for the
+    Triangle Hypothesis experiments is exact, not probabilistic.  With
+    ``plant_triangle=True`` a single random triangle is added, turning
+    it into a yes-instance that differs in just three edges.
+    """
+    rng = make_rng(seed)
+    half = max(n // 2, 1)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    max_edges = half * (n - half)
+    if m > max_edges:
+        raise ValueError(
+            f"at most {max_edges} edges fit a bipartition of {n} vertices"
+        )
+    seen = set()
+    while len(seen) < m:
+        u = rng.randrange(half)
+        v = rng.randrange(half, n)
+        seen.add((u, v))
+    graph.add_edges_from(seen)
+    if plant_triangle:
+        if n < 3:
+            raise ValueError("need at least 3 vertices to plant a triangle")
+        a, b, c = rng.sample(range(n), 3)
+        graph.add_edges_from([(a, b), (b, c), (c, a)])
+    return graph
+
+
+def planted_clique_graph(
+    n: int,
+    m: int,
+    k: int,
+    seed: SeedLike = None,
+) -> Tuple[nx.Graph, Tuple[int, ...]]:
+    """A random graph with a planted k-clique; returns (graph, clique)."""
+    rng = make_rng(seed)
+    graph = random_graph(n, m, rng)
+    clique = tuple(sorted(rng.sample(range(n), k)))
+    for i, u in enumerate(clique):
+        for v in clique[i + 1 :]:
+            graph.add_edge(u, v)
+    return graph, clique
+
+
+def random_weighted_graph(
+    n: int,
+    m: int,
+    seed: SeedLike = None,
+    low: int = -50,
+    high: int = 50,
+) -> Tuple[nx.Graph, EdgeWeights]:
+    """A random graph with integer edge weights in [low, high]."""
+    rng = make_rng(seed)
+    graph = random_graph(n, m, rng)
+    weights: EdgeWeights = {
+        frozenset(edge): rng.randint(low, high) for edge in graph.edges()
+    }
+    return graph, weights
+
+
+def zero_clique_instance(
+    n: int,
+    m: int,
+    k: int,
+    seed: SeedLike = None,
+    plant: bool = True,
+) -> Tuple[nx.Graph, EdgeWeights]:
+    """A weighted graph optionally containing a zero-weight k-clique.
+
+    When planting, a k-clique is embedded and its edge weights are
+    adjusted so they sum to exactly zero.
+    """
+    rng = make_rng(seed)
+    graph, weights = random_weighted_graph(n, m, rng)
+    if not plant:
+        return graph, weights
+    clique = rng.sample(range(n), k)
+    pairs = [
+        frozenset((u, v))
+        for i, u in enumerate(clique)
+        for v in clique[i + 1 :]
+    ]
+    total = 0
+    for pair in pairs[:-1]:
+        u, v = tuple(pair)
+        graph.add_edge(u, v)
+        weight = rng.randint(-20, 20)
+        weights[pair] = weight
+        total += weight
+    last = pairs[-1]
+    graph.add_edge(*tuple(last))
+    weights[last] = -total
+    return graph, weights

@@ -1,0 +1,50 @@
+"""Uniform hypergraph generators (hyperclique / Loomis–Whitney inputs)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Sequence, Set, Tuple
+
+from repro.util.rng import SeedLike, make_rng
+
+
+def random_uniform_hypergraph(
+    n: int, h: int, m: int, seed: SeedLike = None
+) -> Set[FrozenSet]:
+    """m distinct h-edges over range(n), uniformly at random."""
+    rng = make_rng(seed)
+    if h > n:
+        raise ValueError("edge size exceeds vertex count")
+    from math import comb
+
+    if m > comb(n, h):
+        raise ValueError(f"only {comb(n, h)} distinct edges exist")
+    edges: Set[FrozenSet] = set()
+    if m > comb(n, h) // 2:
+        universe = [frozenset(c) for c in combinations(range(n), h)]
+        rng.shuffle(universe)
+        return set(universe[:m])
+    while len(edges) < m:
+        edges.add(frozenset(rng.sample(range(n), h)))
+    return edges
+
+
+def plant_hyperclique(
+    edges: Set[FrozenSet],
+    n: int,
+    h: int,
+    k: int,
+    seed: SeedLike = None,
+) -> Tuple[Set[FrozenSet], Tuple[int, ...]]:
+    """Add all h-subsets of a random k-vertex set; returns (edges, set).
+
+    The returned edge set is a new set; the input is not mutated.
+    """
+    rng = make_rng(seed)
+    if k > n:
+        raise ValueError("clique size exceeds vertex count")
+    chosen = tuple(sorted(rng.sample(range(n), k)))
+    out = set(edges)
+    for combo in combinations(chosen, h):
+        out.add(frozenset(combo))
+    return out, chosen

@@ -1,0 +1,56 @@
+"""Instances for 3SUM and Dominating Set."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+
+from repro.util.rng import SeedLike, make_rng
+from repro.workloads.graphs import random_graph
+
+
+def threesum_instance(
+    n: int, plant: bool = True, seed: SeedLike = None
+) -> Tuple[List[int], List[int], List[int]]:
+    """Lists A, B, C of n values in the paper's range {-n^4..n^4}.
+
+    With ``plant=True`` one random index triple satisfies a + b = c;
+    without planting, random instances over the n^4 range are
+    overwhelmingly likely to be no-instances (and tests verify with
+    the reference solver rather than assume it).
+    """
+    rng = make_rng(seed)
+    bound = n**4
+    a = [rng.randint(-bound, bound) for _ in range(n)]
+    b = [rng.randint(-bound, bound) for _ in range(n)]
+    c = [rng.randint(-bound, bound) for _ in range(n)]
+    if plant and n > 0:
+        i = rng.randrange(n)
+        j = rng.randrange(n)
+        k = rng.randrange(n)
+        c[k] = a[i] + b[j]
+    return a, b, c
+
+
+def dominating_set_instance(
+    n: int,
+    m: int,
+    k: int,
+    seed: SeedLike = None,
+    plant: bool = True,
+) -> nx.Graph:
+    """A random graph, optionally modified to have a k-dominating set.
+
+    Planting picks k centers and attaches every vertex to one of them,
+    guaranteeing domination; unplanted sparse graphs typically need far
+    more than k vertices to dominate.
+    """
+    rng = make_rng(seed)
+    graph = random_graph(n, m, rng)
+    if plant and k >= 1:
+        centers = rng.sample(range(n), min(k, n))
+        for v in graph.nodes():
+            if v not in centers:
+                graph.add_edge(v, rng.choice(centers))
+    return graph

@@ -1,0 +1,19 @@
+"""Sparse Boolean matrix generators (Hypothesis 1 experiments)."""
+
+from __future__ import annotations
+
+from repro.matmul.sparse import SparseBooleanMatrix
+from repro.util.rng import SeedLike, make_rng
+
+
+def random_sparse_boolean_matrix(
+    rows: int, cols: int, nnz: int, seed: SeedLike = None
+) -> SparseBooleanMatrix:
+    """A rows×cols Boolean matrix with ``nnz`` distinct non-zeros."""
+    rng = make_rng(seed)
+    if nnz > rows * cols:
+        raise ValueError("more non-zeros requested than cells exist")
+    entries = set()
+    while len(entries) < nnz:
+        entries.add((rng.randrange(rows), rng.randrange(cols)))
+    return SparseBooleanMatrix(entries, shape=(rows, cols))

@@ -1,0 +1,24 @@
+"""Shared pytest configuration.
+
+Hypothesis profiles: property tests run with a modest example budget by
+default so the full suite stays fast; set HYPOTHESIS_PROFILE=thorough
+for a deeper run.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

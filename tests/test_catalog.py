@@ -1,0 +1,124 @@
+"""The catalog queries have exactly the structure the paper assigns."""
+
+import pytest
+
+from repro.hypergraph.freeconnex import is_free_connex
+from repro.hypergraph.gyo import is_acyclic
+from repro.query import catalog
+
+
+def test_triangle_query_shape():
+    q = catalog.triangle_query()
+    assert q.is_boolean()
+    assert q.is_self_join_free()
+    assert not is_acyclic(q.hypergraph())
+    join = catalog.triangle_query(boolean=False)
+    assert join.is_join_query()
+
+
+def test_cycle_queries_cyclic():
+    for k in (3, 4, 5, 6):
+        q = catalog.cycle_query(k)
+        assert len(q.atoms) == k
+        assert not is_acyclic(q.hypergraph()), k
+
+
+def test_cycle_query_minimum_size():
+    with pytest.raises(ValueError):
+        catalog.cycle_query(2)
+
+
+def test_path_queries_acyclic_free_connex():
+    for k in (1, 2, 3, 4):
+        q = catalog.path_query(k)
+        assert is_acyclic(q.hypergraph())
+        assert is_free_connex(q)  # join queries are free-connex
+
+
+def test_star_query_self_joins_and_structure():
+    q = catalog.star_query(3)
+    assert not q.is_self_join_free()
+    assert q.relation_symbols == ("R",)
+    assert is_acyclic(q.hypergraph())
+    assert not is_free_connex(q)
+
+
+def test_star_query_k1_is_free_connex():
+    # q*_1(x) :- R(x, z) is just a projection: tractable everywhere.
+    assert is_free_connex(catalog.star_query(1))
+
+
+def test_star_query_sjf():
+    q = catalog.star_query_sjf(2)
+    assert q.is_self_join_free()
+    assert not is_free_connex(q)
+
+
+def test_star_query_full_is_join_query():
+    q = catalog.star_query_full(2)
+    assert q.is_join_query()
+    assert is_free_connex(q)
+    sjf = catalog.star_query_full(2, self_join_free=True)
+    assert sjf.is_self_join_free()
+
+
+def test_loomis_whitney_structure():
+    for k in (3, 4, 5):
+        q = catalog.loomis_whitney_query(k)
+        assert len(q.atoms) == k
+        assert all(a.arity == k - 1 for a in q.atoms)
+        assert not is_acyclic(q.hypergraph())
+
+
+def test_loomis_whitney_3_is_triangle_shaped():
+    q = catalog.loomis_whitney_query(3)
+    scopes = {a.scope for a in q.atoms}
+    assert scopes == {
+        frozenset({"x1", "x2"}),
+        frozenset({"x2", "x3"}),
+        frozenset({"x1", "x3"}),
+    }
+
+
+def test_clique_query():
+    q = catalog.clique_query(3)
+    assert len(q.atoms) == 6  # ordered pairs
+    assert q.relation_symbols == ("E",)
+    assert not is_acyclic(q.hypergraph())
+
+
+def test_matrix_multiplication_query_matches_star():
+    q = catalog.matrix_multiplication_query()
+    assert q.head == ("x", "y")
+    assert not is_free_connex(q)
+
+
+def test_free_connex_pair_sides():
+    fc, nfc = catalog.free_connex_pair()
+    assert is_free_connex(fc)
+    assert not is_free_connex(nfc)
+    assert fc.atoms == nfc.atoms
+
+
+def test_disruptive_trio_query_has_trio():
+    from repro.hypergraph.trios import has_disruptive_trio
+
+    q = catalog.disruptive_trio_query()
+    assert has_disruptive_trio(q, ("x1", "x2", "z"))
+    assert not has_disruptive_trio(q, ("z", "x1", "x2"))
+
+
+def test_semijoin_reducible_query_acyclic():
+    q = catalog.semijoin_reducible_query()
+    assert is_acyclic(q.hypergraph())
+
+
+def test_catalog_validation_errors():
+    with pytest.raises(ValueError):
+        catalog.star_query(0)
+    with pytest.raises(ValueError):
+        catalog.loomis_whitney_query(2)
+    with pytest.raises(ValueError):
+        catalog.clique_query(1)
+    with pytest.raises(ValueError):
+        catalog.path_query(0)

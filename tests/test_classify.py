@@ -1,0 +1,229 @@
+"""The classifier reproduces the paper's dichotomies on the catalog."""
+
+import pytest
+
+from repro.classify import classify
+from repro.query import catalog, parse_query
+
+
+def verdict(query, task, **kwargs):
+    return classify(query, **kwargs).verdict(task)
+
+
+# ---------------------------------------------------------------------
+# Boolean (Theorem 3.7)
+# ---------------------------------------------------------------------
+
+def test_boolean_dichotomy_matches_acyclicity():
+    assert verdict(catalog.path_query(3, boolean=True), "boolean").tractable
+    assert not verdict(catalog.triangle_query(), "boolean").tractable
+    assert not verdict(
+        catalog.loomis_whitney_query(5), "boolean"
+    ).tractable
+
+
+def test_boolean_hard_cites_right_hypothesis():
+    tri = verdict(catalog.triangle_query(), "boolean")
+    assert any(h.key == "triangle" for h in tri.hypotheses)
+    lw = verdict(catalog.loomis_whitney_query(5), "boolean")
+    assert any(h.key == "hyperclique" for h in lw.hypotheses)
+
+
+def test_boolean_self_join_caveat():
+    q = parse_query("q() :- R(x, y), R(y, z), R(z, x)")
+    v = verdict(q, "boolean")
+    assert not v.tractable
+    assert not v.hypotheses  # lower bound only stated for sjf
+    assert "self-join" in v.note
+
+
+# ---------------------------------------------------------------------
+# Counting (Theorems 3.8 / 3.13 / 4.6)
+# ---------------------------------------------------------------------
+
+def test_counting_dichotomy():
+    assert verdict(catalog.path_query(3), "counting").tractable
+    fc, nfc = catalog.free_connex_pair()
+    assert verdict(fc, "counting").tractable
+    assert not verdict(nfc, "counting").tractable
+
+
+def test_counting_star_size_lower_bound():
+    v = verdict(catalog.star_query_sjf(3), "counting")
+    assert not v.tractable
+    assert "m^3" in v.lower_bound
+    assert any(h.key == "seth" for h in v.hypotheses)
+
+
+def test_counting_acyclic_join_with_self_joins_tractable():
+    # Theorem 3.8 covers self-joins on the tractable side.
+    assert verdict(catalog.star_query_full(3), "counting").tractable
+
+
+# ---------------------------------------------------------------------
+# Enumeration (Theorems 3.14 / 3.16 / 3.17 / 4.5)
+# ---------------------------------------------------------------------
+
+def test_enumeration_dichotomy():
+    assert verdict(catalog.path_query(2), "enumeration").tractable
+    assert not verdict(catalog.star_query_sjf(2), "enumeration").tractable
+
+
+def test_enumeration_cites_sparse_bmm_for_acyclic():
+    v = verdict(catalog.star_query_sjf(2), "enumeration")
+    assert any(h.key == "sparse-bmm" for h in v.hypotheses)
+
+
+def test_enumeration_cyclic_join_cites_zero_clique():
+    v = verdict(catalog.cycle_query(4), "enumeration")
+    assert not v.tractable
+    assert any(h.key == "zero-k-clique" for h in v.hypotheses)
+
+
+def test_enumeration_self_join_open_case():
+    q = catalog.cycle_query(4)
+    selfjoin = parse_query(
+        "q(v1, v2, v3, v4) :- E(v1, v2), E(v2, v3), E(v3, v4), E(v4, v1)"
+    )
+    v = verdict(selfjoin, "enumeration")
+    assert not v.tractable
+    assert v.lower_bound is None  # open per Section 3.3
+    assert "not fully understood" in v.note
+
+
+# ---------------------------------------------------------------------
+# Direct access (Theorems 3.18 / 3.24 / 3.26)
+# ---------------------------------------------------------------------
+
+def test_direct_access_dichotomy():
+    assert verdict(catalog.star_query_full(2), "direct-access").tractable
+    assert not verdict(catalog.star_query_sjf(2), "direct-access").tractable
+
+
+def test_lex_order_verdicts():
+    q = catalog.path_query(2)
+    good = verdict(
+        q, "direct-access-lex[v1 > v2 > v3]", lex_order=("v1", "v2", "v3")
+    )
+    assert good.tractable
+    bad = verdict(
+        q, "direct-access-lex[v1 > v3 > v2]", lex_order=("v1", "v3", "v2")
+    )
+    assert not bad.tractable
+    assert "disruptive trio" in bad.note
+    assert any(h.key == "triangle" for h in bad.hypotheses)
+
+
+def test_sum_order_verdicts():
+    single = parse_query("q(x, y) :- R(x, y)")
+    assert verdict(single, "direct-access-sum").tractable
+    v = verdict(catalog.path_query(2), "direct-access-sum")
+    assert not v.tractable
+    assert any(h.key == "3sum" for h in v.hypotheses)
+
+
+# ---------------------------------------------------------------------
+# structural report fields
+# ---------------------------------------------------------------------
+
+def test_structure_fields():
+    report = classify(catalog.star_query_sjf(2))
+    assert report.acyclic and not report.free_connex
+    assert report.quantified_star_size == 2
+    assert report.agm_exponent == pytest.approx(2.0)
+    assert report.hard_witness is None
+
+    tri = classify(catalog.triangle_query())
+    assert tri.hard_witness is not None
+    assert "cycle" in tri.hard_witness
+
+    lw = classify(catalog.loomis_whitney_query(4))
+    assert "hyperclique" in lw.hard_witness
+
+
+def test_trio_free_order_reported_for_acyclic_joins():
+    report = classify(catalog.path_query(2))
+    assert report.trio_free_order is not None
+
+
+def test_render_mentions_all_tasks():
+    text = classify(catalog.star_query_sjf(2)).render()
+    for task in ("boolean", "counting", "enumeration", "direct-access"):
+        assert task in text
+
+
+def test_verdict_lookup_unknown_task():
+    report = classify(catalog.path_query(2))
+    with pytest.raises(KeyError):
+        report.verdict("time-travel")
+
+
+def test_boolean_query_task_notes():
+    report = classify(catalog.path_query(2, boolean=True))
+    assert "decided" in report.verdict("enumeration").note
+    assert "decided" in report.verdict("direct-access").note
+
+
+# ---------------------------------------------------------------------
+# tropical aggregation verdict (Section 4.1.2 / 4.2, opt-in)
+# ---------------------------------------------------------------------
+
+def test_aggregation_verdict_acyclic_join():
+    v = verdict(
+        catalog.path_query(2),
+        "aggregation-tropical",
+        include_embedding_power=True,
+    )
+    assert v.tractable
+    assert "FAQ" in v.upper_bound
+
+
+def test_aggregation_verdict_triangle_certified_tight():
+    v = verdict(
+        catalog.triangle_query(boolean=False),
+        "aggregation-tropical",
+        include_embedding_power=True,
+    )
+    assert not v.tractable
+    assert "m^1.500" in v.lower_bound
+    assert any(h.key == "min-weight-k-clique" for h in v.hypotheses)
+
+
+def test_aggregation_verdict_projected_query_note():
+    fc, _ = catalog.free_connex_pair()
+    projected = fc.with_head(("x",))
+    v = verdict(
+        projected, "aggregation-tropical", include_embedding_power=True
+    )
+    assert not v.tractable
+    assert "join queries" in v.note
+
+
+def test_aggregation_verdict_absent_by_default():
+    report = classify(catalog.path_query(2))
+    with pytest.raises(KeyError):
+        report.verdict("aggregation-tropical")
+
+
+# ---------------------------------------------------------------------
+# dynamic evaluation verdict ([15], survey conclusion)
+# ---------------------------------------------------------------------
+
+def test_dynamic_verdict_q_hierarchical():
+    v = verdict(
+        catalog.star_query_full(2, self_join_free=True), "dynamic"
+    )
+    assert v.tractable
+    assert "q-hierarchical" in v.note
+
+
+def test_dynamic_verdict_star_query_hard():
+    v = verdict(catalog.star_query_sjf(2), "dynamic")
+    assert not v.tractable
+    assert "projection" in v.note
+
+
+def test_dynamic_verdict_path3_hard():
+    v = verdict(catalog.path_query(3), "dynamic")
+    assert not v.tractable
+    assert "crossing" in v.note

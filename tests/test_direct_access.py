@@ -1,0 +1,318 @@
+"""Lexicographic and sum-order direct access, and the testing oracle
+(Theorems 3.24/3.26, Lemmas 3.20/3.21)."""
+
+import itertools
+
+import pytest
+from hypothesis import assume, given
+
+from repro.db.database import Database
+from repro.db.relation import Relation
+from repro.direct_access import (
+    LexDirectAccess,
+    SumOrderDirectAccess,
+    TestingOracle,
+)
+from repro.direct_access.layered import find_layered_tree
+from repro.direct_access.sum_order import covering_atom_index, uncovered_pair
+from repro.hypergraph.freeconnex import is_free_connex
+from repro.hypergraph.trios import has_disruptive_trio
+from repro.query import catalog, parse_query
+from repro.workloads import random_database
+
+from tests.strategies import queries_with_databases
+
+
+def sorted_answers(query, db, order):
+    answers = query.evaluate_brute_force(db)
+    head = tuple(query.head)
+    key_positions = [head.index(v) for v in order]
+    return sorted(
+        answers, key=lambda row: tuple(row[p] for p in key_positions)
+    )
+
+
+# ---------------------------------------------------------------------
+# layered trees ↔ disruptive trios (the [27] equivalence)
+# ---------------------------------------------------------------------
+
+def bags_of(query):
+    return {
+        i: frozenset(atom.scope) for i, atom in enumerate(query.atoms)
+    }
+
+
+@pytest.mark.parametrize(
+    "query",
+    [
+        catalog.path_query(2),
+        catalog.path_query(3),
+        catalog.star_query_full(3, self_join_free=True),
+        catalog.semijoin_reducible_query(),
+    ],
+    ids=lambda q: q.name,
+)
+def test_layered_tree_exists_iff_no_disruptive_trio(query):
+    """The [27] characterization, checked exhaustively per query."""
+    for order in itertools.permutations(sorted(query.variables)):
+        layered = find_layered_tree(bags_of(query), order)
+        trio = has_disruptive_trio(query, order)
+        assert (layered is None) == trio, (order, trio)
+
+
+def test_layered_tree_order_validation():
+    query = catalog.path_query(2)
+    with pytest.raises(ValueError):
+        find_layered_tree(bags_of(query), ("v1", "v2"))
+
+
+# ---------------------------------------------------------------------
+# lexicographic direct access
+# ---------------------------------------------------------------------
+
+GOOD_CASES = [
+    (catalog.path_query(2), ("v1", "v2", "v3")),
+    (catalog.path_query(2), ("v2", "v1", "v3")),
+    (catalog.path_query(2), ("v3", "v2", "v1")),
+    (catalog.path_query(3), ("v1", "v2", "v3", "v4")),
+    (catalog.star_query_full(2, self_join_free=True), ("z", "x1", "x2")),
+    (catalog.star_query_full(3), ("z", "x1", "x2", "x3")),
+    (catalog.semijoin_reducible_query(), ("y", "x", "z", "w")),
+]
+
+
+@pytest.mark.parametrize(
+    "query, order", GOOD_CASES, ids=lambda x: str(x)
+)
+def test_lex_access_matches_sorted_brute_force(query, order):
+    db = random_database(query, 50, 5, seed=91)
+    accessor = LexDirectAccess(query, db, order=order)
+    assert accessor.mode == "layered"
+    expected = sorted_answers(query, db, order)
+    assert accessor.materialize() == expected
+
+
+def test_lex_access_projected_free_connex_query():
+    query = parse_query("q(x, y) :- R(x, y, a), S(a, b)")
+    db = random_database(query, 60, 5, seed=92)
+    accessor = LexDirectAccess(query, db, order=("y", "x"))
+    assert accessor.materialize() == sorted_answers(query, db, ("y", "x"))
+
+
+def test_lex_access_out_of_range_errors():
+    query = catalog.path_query(2)
+    db = random_database(query, 20, 4, seed=93)
+    accessor = LexDirectAccess(query, db)
+    with pytest.raises(IndexError):
+        accessor.access(len(accessor))
+    with pytest.raises(IndexError):
+        accessor.access(-1)
+
+
+def test_lex_access_strict_rejects_trio_order():
+    query = catalog.path_query(2)
+    db = random_database(query, 20, 4, seed=94)
+    with pytest.raises(ValueError):
+        LexDirectAccess(query, db, order=("v1", "v3", "v2"))
+
+
+def test_lex_access_fallback_matches():
+    query = catalog.path_query(2)
+    db = random_database(query, 40, 5, seed=95)
+    accessor = LexDirectAccess(
+        query, db, order=("v1", "v3", "v2"), strict=False
+    )
+    assert accessor.mode == "materialized"
+    assert accessor.materialize() == sorted_answers(
+        query, db, ("v1", "v3", "v2")
+    )
+
+
+def test_lex_access_empty_result():
+    query = parse_query("q(x, y) :- R(x, y), S(y)")
+    db = Database()
+    db.add_relation(Relation("R", 2, [(1, 2)]))
+    db.add_relation(Relation("S", 1))
+    accessor = LexDirectAccess(query, db)
+    assert len(accessor) == 0
+    with pytest.raises(IndexError):
+        accessor.access(0)
+
+
+def test_lex_access_default_order_is_head():
+    query = catalog.path_query(2)
+    db = random_database(query, 30, 5, seed=96)
+    accessor = LexDirectAccess(query, db)
+    assert accessor.materialize() == sorted(
+        query.evaluate_brute_force(db)
+    )
+
+
+def test_lex_access_order_validation():
+    query = catalog.path_query(2)
+    db = random_database(query, 5, 4, seed=97)
+    with pytest.raises(ValueError):
+        LexDirectAccess(query, db, order=("v1", "v2"))
+    with pytest.raises(ValueError):
+        LexDirectAccess(query.as_boolean(), db)
+
+
+def test_lex_access_random_probes_match():
+    query = catalog.star_query_full(3)
+    db = random_database(query, 60, 4, seed=98)
+    order = ("z", "x1", "x2", "x3")
+    accessor = LexDirectAccess(query, db, order=order)
+    expected = sorted_answers(query, db, order)
+    assert len(accessor) == len(expected)
+    for index in (0, len(expected) // 3, len(expected) - 1):
+        assert accessor.access(index) == expected[index]
+
+
+@given(queries_with_databases(max_atoms=3, max_tuples=10))
+def test_lex_access_property(query_db):
+    query, db = query_db
+    assume(query.head)
+    assume(is_free_connex(query))
+    order = tuple(sorted(query.head))
+    try:
+        accessor = LexDirectAccess(query, db, order=order)
+    except ValueError:
+        assume(False)  # no layered tree for this order
+        return
+    assert accessor.materialize() == sorted_answers(query, db, order)
+
+
+# ---------------------------------------------------------------------
+# sum-order direct access
+# ---------------------------------------------------------------------
+
+def test_covering_atom_detection():
+    assert covering_atom_index(parse_query("q(x, y) :- R(x, y)")) == 0
+    assert covering_atom_index(catalog.path_query(2)) is None
+    assert uncovered_pair(catalog.path_query(2)) == ("v1", "v3")
+    assert uncovered_pair(parse_query("q(x, y) :- R(x, y)")) is None
+
+
+def test_sum_order_single_atom():
+    query = parse_query("q(x, y) :- R(x, y)")
+    db = random_database(query, 40, 10, seed=99)
+    weights = {i: (7 * i) % 13 - 6 for i in range(10)}
+    accessor = SumOrderDirectAccess(query, db, weights)
+    assert accessor.mode == "covering"
+    rows = [accessor.access(i) for i in range(len(accessor))]
+    assert set(rows) == query.evaluate_brute_force(db)
+    keys = [accessor.answer_weight(r) for r in rows]
+    assert keys == sorted(keys)
+
+
+def test_sum_order_covering_atom_with_filter():
+    query = parse_query("q(x, y) :- R(x, y), S(x)")
+    db = Database.from_dict(
+        {"R": [(1, 2), (3, 4)], "S": [(1,)]}
+    )
+    accessor = SumOrderDirectAccess(query, db, {1: 1.0, 2: 2.0})
+    assert len(accessor) == 1
+    assert accessor.access(0) == (1, 2)
+
+
+def test_sum_order_strict_rejects_uncovered():
+    query = catalog.path_query(2)
+    db = random_database(query, 10, 4, seed=100)
+    with pytest.raises(ValueError):
+        SumOrderDirectAccess(query, db, {})
+
+
+def test_sum_order_fallback():
+    query = catalog.path_query(2)
+    db = random_database(query, 30, 5, seed=101)
+    weights = {i: float(i) for i in range(5)}
+    accessor = SumOrderDirectAccess(query, db, weights, strict=False)
+    assert accessor.mode == "materialized"
+    rows = [accessor.access(i) for i in range(len(accessor))]
+    assert set(rows) == query.evaluate_brute_force(db)
+    keys = [accessor.answer_weight(r) for r in rows]
+    assert keys == sorted(keys)
+
+
+def test_sum_order_has_weight_probes():
+    query = parse_query("q(x, y) :- R(x, y)")
+    db = Database.from_dict({"R": [(0, 1), (2, 3)]})
+    weights = {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+    accessor = SumOrderDirectAccess(query, db, weights)
+    assert accessor.has_weight(1.0)
+    assert accessor.has_weight(5.0)
+    assert not accessor.has_weight(2.0)
+    assert not accessor.has_weight(99.0)
+
+
+def test_sum_order_rejects_projected_query():
+    query = parse_query("q(x) :- R(x, y)")
+    db = Database.from_dict({"R": [(1, 2)]})
+    with pytest.raises(ValueError):
+        SumOrderDirectAccess(query, db, {})
+
+
+def test_sum_order_index_errors():
+    query = parse_query("q(x, y) :- R(x, y)")
+    db = Database.from_dict({"R": [(1, 2)]})
+    accessor = SumOrderDirectAccess(query, db, {})
+    with pytest.raises(IndexError):
+        accessor.access(1)
+
+
+# ---------------------------------------------------------------------
+# testing oracle (Lemma 3.20)
+# ---------------------------------------------------------------------
+
+def test_testing_oracle_direct_access_mode():
+    query = catalog.path_query(2)
+    db = random_database(query, 40, 5, seed=102)
+    oracle = TestingOracle(query, db)
+    assert oracle.mode == "direct-access"
+    answers = query.evaluate_brute_force(db)
+    for answer in sorted(answers)[:15]:
+        assert oracle.test(answer)
+    assert not oracle.test((99, 99, 99))
+    assert oracle.accesses > 0
+
+
+def test_testing_oracle_hash_fallback_for_star():
+    query = catalog.star_query(2)
+    db = random_database(query, 40, 5, seed=103)
+    oracle = TestingOracle(query, db)
+    assert oracle.mode == "hash"
+    answers = query.evaluate_brute_force(db)
+    for answer in sorted(answers)[:10]:
+        assert oracle.test(answer)
+    assert not oracle.test((99, 99))
+
+
+def test_testing_oracle_forced_modes():
+    query = catalog.path_query(2)
+    db = random_database(query, 20, 4, seed=104)
+    assert TestingOracle(query, db, mode="hash").mode == "hash"
+    assert (
+        TestingOracle(query, db, mode="direct-access").mode
+        == "direct-access"
+    )
+    with pytest.raises(ValueError):
+        TestingOracle(query, db, mode="psychic")
+    star = catalog.star_query(2)
+    sdb = random_database(star, 10, 4, seed=105)
+    with pytest.raises(ValueError):
+        TestingOracle(star, sdb, mode="direct-access")
+
+
+def test_testing_oracle_width_check():
+    query = catalog.path_query(2)
+    db = random_database(query, 10, 4, seed=106)
+    oracle = TestingOracle(query, db)
+    with pytest.raises(ValueError):
+        oracle.test((1, 2))
+
+
+def test_testing_oracle_boolean_rejected():
+    query = catalog.path_query(2, boolean=True)
+    db = random_database(query, 5, 4, seed=107)
+    with pytest.raises(ValueError):
+        TestingOracle(query, db)

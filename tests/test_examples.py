@@ -1,0 +1,43 @@
+"""The shipped examples must run end to end (smoke tests).
+
+Each example's ``main`` is imported and executed with stdout captured;
+assertions inside the examples double as integration checks.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "dichotomy_atlas", "ranked_paging", "weighted_aggregation"],
+)
+def test_example_runs(name, capsys):
+    run_example(name)
+    output = capsys.readouterr().out
+    assert output.strip()  # every example prints something
+
+
+def test_triangle_detection_example(capsys):
+    # The slowest example (it runs three detection pipelines twice).
+    run_example("triangle_detection")
+    output = capsys.readouterr().out
+    assert "AYZ" in output
+    assert "Proposition 3.3" in output

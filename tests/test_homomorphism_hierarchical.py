@@ -1,0 +1,204 @@
+"""Chandra–Merlin machinery and the (q-)hierarchical predicates."""
+
+import pytest
+from hypothesis import given
+
+from repro.hypergraph.hierarchical import (
+    atom_sets,
+    hierarchical_violation,
+    is_hierarchical,
+    is_q_hierarchical,
+    q_hierarchical_violation,
+)
+from repro.query import catalog, parse_query
+from repro.query.homomorphism import (
+    are_equivalent,
+    core,
+    find_homomorphism,
+    is_contained_in,
+    is_minimal,
+)
+
+from tests.strategies import conjunctive_queries, queries_with_databases
+
+
+# ---------------------------------------------------------------------
+# homomorphisms and containment
+# ---------------------------------------------------------------------
+
+def test_homomorphism_identity():
+    q = parse_query("q(x) :- R(x, y)")
+    hom = find_homomorphism(q, q)
+    assert hom is not None
+    assert hom["x"] == "x"
+
+
+def test_homomorphism_collapses_path_onto_loop():
+    path = parse_query("q() :- R(x, y), R(y, z)")
+    loop = parse_query("q() :- R(v, v)")
+    assert find_homomorphism(path, loop) == {"x": "v", "y": "v", "z": "v"}
+    assert find_homomorphism(loop, path) is None
+
+
+def test_homomorphism_respects_heads():
+    q1 = parse_query("q(x) :- R(x, y)")
+    q2 = parse_query("q(y) :- R(x, y)")
+    # Mapping must send head to head: x -> y forces R(y, ?) in q2: absent.
+    assert find_homomorphism(q1, q2) is None
+
+
+def test_homomorphism_head_length_mismatch():
+    q1 = parse_query("q(x, y) :- R(x, y)")
+    q2 = parse_query("q(x) :- R(x, y)")
+    assert find_homomorphism(q1, q2) is None
+
+
+def test_containment_path_lengths():
+    """A longer R-path maps into a shorter one's query? No — but every
+    graph with a 2-path has a 1-edge, so q_edge ⊇ q_path2."""
+    edge = parse_query("q() :- R(x, y)")
+    path2 = parse_query("q() :- R(x, y), R(y, z)")
+    assert is_contained_in(path2, edge)  # 2-path implies an edge
+    assert not is_contained_in(edge, path2)  # an edge alone: no 2-path
+
+
+def test_containment_triangle_vs_cycle():
+    """With a *symmetric* edge relation, a triangle supports closed
+    walks of every length ≥ 3, so hom(C5-walk → sym-triangle) exists
+    and q_tri ⊆ q_C5walk; with a directed 3-cycle it does not (5 is
+    not divisible by 3)."""
+    sym_triangle = parse_query(
+        "q() :- E(a, b), E(b, a), E(b, c), E(c, b), E(c, a), E(a, c)"
+    )
+    directed_triangle = parse_query("q() :- E(a, b), E(b, c), E(c, a)")
+    c5 = parse_query(
+        "q() :- E(v1, v2), E(v2, v3), E(v3, v4), E(v4, v5), E(v5, v1)"
+    )
+    assert is_contained_in(sym_triangle, c5)
+    assert find_homomorphism(c5, directed_triangle) is None
+
+
+def test_equivalence_up_to_renaming():
+    q1 = parse_query("q(x) :- R(x, y), S(y)")
+    q2 = parse_query("q(a) :- R(a, b), S(b)")
+    assert are_equivalent(q1, q2)
+
+
+def test_semantic_containment_spot_check():
+    """Containment verified against actual evaluation on random DBs."""
+    from repro.workloads import random_database
+
+    edge = parse_query("q() :- R(x, y)")
+    path2 = parse_query("q() :- R(x, y), R(y, z)")
+    for seed in range(5):
+        db = random_database(path2, 8, 6, seed=seed)
+        if path2.holds(db):
+            assert edge.holds(db)
+
+
+# ---------------------------------------------------------------------
+# cores
+# ---------------------------------------------------------------------
+
+def test_core_removes_redundant_atom():
+    q = parse_query("q() :- R(x, y), R(u, v)")  # second atom redundant
+    minimized = core(q)
+    assert len(minimized.atoms) == 1
+    assert are_equivalent(q, minimized)
+
+
+def test_core_keeps_triangle():
+    tri = parse_query("q() :- E(x, y), E(y, z), E(z, x)")
+    assert is_minimal(tri)
+
+
+def test_core_folds_pendant_path():
+    # A triangle with a pendant 2-path folds onto the triangle.
+    q = parse_query(
+        "q() :- E(x, y), E(y, z), E(z, x), E(x, w), E(w, t)"
+    )
+    minimized = core(q)
+    assert len(minimized.atoms) == 3
+    assert are_equivalent(q, minimized)
+
+
+def test_core_respects_head_variables():
+    # The pendant atom carries a head variable: it cannot be dropped.
+    q = parse_query("q(w) :- E(x, y), E(y, x), E(x, w)")
+    minimized = core(q)
+    assert "w" in {
+        v for atom in minimized.atoms for v in atom.variables
+    }
+    assert are_equivalent(q, minimized)
+
+
+def test_core_of_minimal_query_is_itself():
+    q = catalog.star_query_sjf(2)
+    assert core(q) == q
+
+
+@given(conjunctive_queries(max_atoms=3, max_arity=2, self_join_free=False))
+def test_core_always_equivalent(query):
+    minimized = core(query)
+    assert are_equivalent(query, minimized)
+    assert len(minimized.atoms) <= len(query.atoms)
+
+
+# ---------------------------------------------------------------------
+# (q-)hierarchical predicates
+# ---------------------------------------------------------------------
+
+def test_star_is_hierarchical_not_q_hierarchical():
+    q = catalog.star_query_sjf(2)
+    assert is_hierarchical(q)
+    kind, x, y = q_hierarchical_violation(q)
+    assert kind == "projection"
+    assert y == "z"
+
+
+def test_star_full_is_q_hierarchical():
+    # With z free the projection obstruction disappears.
+    assert is_q_hierarchical(catalog.star_query_full(2, self_join_free=True))
+
+
+def test_path2_is_hierarchical_path3_is_not():
+    # Two edges: at(v2) contains both atoms, endpoints are nested —
+    # hierarchical (and q-hierarchical as a join query).  Three edges:
+    # at(v2) = {0,1} and at(v3) = {1,2} cross.
+    assert is_hierarchical(catalog.path_query(2))
+    assert is_q_hierarchical(catalog.path_query(2))
+    q = catalog.path_query(3)
+    kind, x, y = q_hierarchical_violation(q)
+    assert kind == "crossing"
+    assert {x, y} == {"v2", "v3"}
+    assert not is_hierarchical(q)
+
+
+def test_single_atom_queries_q_hierarchical():
+    assert is_q_hierarchical(parse_query("q(x, y) :- R(x, y)"))
+    assert is_q_hierarchical(parse_query("q() :- R(x, y)"))
+
+
+def test_atom_sets_shape():
+    q = catalog.star_query_sjf(2)
+    sets = atom_sets(q)
+    assert sets["z"] == frozenset({0, 1})
+    assert sets["x1"] == frozenset({0})
+
+
+def test_hierarchical_violation_none_for_stars():
+    assert hierarchical_violation(catalog.star_query(3)) is None
+
+
+@given(conjunctive_queries(max_atoms=3, max_arity=3))
+def test_q_hierarchical_implies_hierarchical(query):
+    if is_q_hierarchical(query):
+        assert is_hierarchical(query)
+
+
+@given(conjunctive_queries(max_atoms=3, max_arity=3))
+def test_hierarchical_implies_acyclic(query):
+    from repro.hypergraph.gyo import is_acyclic
+
+    if is_hierarchical(query):
+        assert is_acyclic(query.hypergraph())

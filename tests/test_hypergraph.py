@@ -1,0 +1,213 @@
+"""Hypergraph type + GYO acyclicity + join-tree tests."""
+
+import pytest
+from hypothesis import given
+
+from repro.hypergraph.gyo import (
+    cyclic_core,
+    gyo_reduction,
+    is_acyclic,
+    join_tree,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.jointree import JoinTree
+from repro.query import catalog
+
+from tests.strategies import acyclic_hypergraph_edges
+
+
+def hg(*edges):
+    vertices = {v for e in edges for v in e}
+    return Hypergraph(vertices, [frozenset(e) for e in edges])
+
+
+def test_unknown_vertices_rejected():
+    with pytest.raises(ValueError):
+        Hypergraph({"a"}, [{"a", "b"}])
+
+
+def test_basic_accessors():
+    h = hg("ab", "bc", "ab")
+    assert h.rank() == 2
+    assert h.is_graph()
+    assert len(h.distinct_edges) == 2
+    assert h.degree("b") == 2
+    assert h.edges_containing("a") == [0, 2]
+
+
+def test_uniformity():
+    assert hg("abc", "bcd").is_uniform(3)
+    assert not hg("ab", "abc").is_uniform()
+    assert Hypergraph((), ()).is_uniform()
+
+
+def test_primal_graph():
+    adj = hg("abc").primal_graph()
+    assert adj["a"] == {"b", "c"}
+
+
+def test_induced_drops_empty_intersections():
+    h = hg("ab", "cd")
+    induced = h.induced({"a", "b"})
+    assert set(induced.edges) == {frozenset({"a", "b"})}
+
+
+def test_remove_contained_edges():
+    h = hg("ab", "abc", "c")
+    reduced = h.remove_contained_edges()
+    assert set(reduced.edges) == {frozenset("abc")}
+
+
+def test_connected_components():
+    h = hg("ab", "bc", "de")
+    comps = h.connected_components()
+    assert sorted(sorted(c) for c in comps) == [["a", "b", "c"], ["d", "e"]]
+    assert not h.is_connected()
+
+
+def test_with_extra_edge_and_empty_edge():
+    h = hg("ab")
+    extended = h.with_extra_edge({"a"})
+    assert len(extended.edges) == 2
+    same = h.with_extra_edge(())
+    assert len(same.edges) == 1
+    with pytest.raises(ValueError):
+        h.with_extra_edge({"zz"})
+
+
+# ---------------------------------------------------------------------
+# GYO / acyclicity
+# ---------------------------------------------------------------------
+
+def test_paper_definition_examples():
+    # Acyclic: paths, stars, single edges, alpha-acyclic classics.
+    assert is_acyclic(hg("ab", "bc", "cd"))
+    assert is_acyclic(hg("az", "bz", "cz"))
+    assert is_acyclic(hg("abc"))
+    assert is_acyclic(hg("abc", "bcd", "cde"))
+    # The classic: a triangle plus its covering edge IS acyclic.
+    assert is_acyclic(hg("ab", "bc", "ca", "abc"))
+    # Cyclic: cycles and Loomis-Whitney shapes.
+    assert not is_acyclic(hg("ab", "bc", "ca"))
+    assert not is_acyclic(hg("ab", "bc", "cd", "da"))
+    assert not is_acyclic(hg("abc", "abd", "acd", "bcd"))
+
+
+def test_acyclicity_of_catalog():
+    assert not is_acyclic(catalog.triangle_query().hypergraph())
+    assert is_acyclic(catalog.path_query(5).hypergraph())
+    assert is_acyclic(catalog.star_query(4).hypergraph())
+    assert not is_acyclic(catalog.loomis_whitney_query(5).hypergraph())
+
+
+def test_disconnected_hypergraph_acyclic():
+    assert is_acyclic(hg("ab", "cd"))
+
+
+def test_duplicate_edges_acyclic():
+    assert is_acyclic(hg("ab", "ab", "ab"))
+
+
+def test_join_tree_on_cyclic_raises():
+    with pytest.raises(ValueError):
+        join_tree(hg("ab", "bc", "ca"))
+
+
+def test_join_tree_valid_on_examples():
+    for edges in (
+        ("ab", "bc", "cd"),
+        ("az", "bz", "cz"),
+        ("abc", "bcd", "ce"),
+        ("ab", "cd"),  # forest
+        ("ab", "ab"),  # duplicates
+    ):
+        tree = join_tree(hg(*edges))
+        tree.validate()
+        assert set(tree.nodes()) == set(range(len(edges)))
+
+
+@given(acyclic_hypergraph_edges())
+def test_generated_acyclic_hypergraphs_are_acyclic(edges):
+    vertices = {v for e in edges for v in e}
+    h = Hypergraph(vertices, edges)
+    assert is_acyclic(h)
+    tree = join_tree(h)
+    tree.validate()
+
+
+def test_gyo_trace_fields():
+    result = gyo_reduction(hg("ab", "bc"))
+    assert result.acyclic
+    assert len(result.parent) == 1
+    result2 = gyo_reduction(hg("ab", "bc", "ca"))
+    assert not result2.acyclic
+    assert result2.stuck_core
+
+
+def test_cyclic_core_extraction():
+    core = cyclic_core(hg("xa", "ab", "bc", "ca"))
+    # The pendant edge xa is stripped; the triangle remains.
+    assert set(core.edges) == {
+        frozenset("ab"),
+        frozenset("bc"),
+        frozenset("ca"),
+    }
+    assert cyclic_core(hg("ab", "bc")).edges == ()
+
+
+# ---------------------------------------------------------------------
+# JoinTree structure
+# ---------------------------------------------------------------------
+
+def test_join_tree_rejects_unknown_parent():
+    with pytest.raises(ValueError):
+        JoinTree(bags={0: frozenset("ab")}, parent={0: 7})
+
+
+def test_join_tree_rejects_cycle():
+    with pytest.raises(ValueError):
+        JoinTree(
+            bags={0: frozenset("a"), 1: frozenset("a")},
+            parent={0: 1, 1: 0},
+        )
+
+
+def test_bottom_up_children_before_parents():
+    tree = join_tree(hg("ab", "bc", "cd"))
+    order = list(tree.bottom_up())
+    for child, parent in tree.parent.items():
+        assert order.index(child) < order.index(parent)
+
+
+def test_validate_detects_violation():
+    bad = JoinTree(
+        bags={
+            0: frozenset("ax"),
+            1: frozenset("b"),
+            2: frozenset("ay"),
+        },
+        parent={0: 1, 2: 1},  # 'a' holders 0 and 2 disconnected via 1
+    )
+    with pytest.raises(ValueError):
+        bad.validate()
+
+
+def test_rooted_at_preserves_validity():
+    tree = join_tree(hg("ab", "bc", "cd"))
+    for node in tree.nodes():
+        rerooted = tree.rooted_at(node)
+        rerooted.validate()
+        assert node in rerooted.roots
+
+
+def test_separator():
+    tree = join_tree(hg("ab", "bc"))
+    (child, parent), = tree.edges()
+    assert tree.separator(child) == frozenset("b")
+    assert tree.separator(parent) == frozenset()
+
+
+def test_subtree():
+    tree = join_tree(hg("ab", "bc", "cd"))
+    root = tree.roots[0]
+    assert tree.subtree(root) == set(tree.nodes())

@@ -1,0 +1,162 @@
+"""Boolean matrix multiplication backends: correctness and agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.matmul import (
+    SparseBooleanMatrix,
+    bmm_naive,
+    bmm_numpy,
+    bmm_strassen,
+    sparse_bmm,
+    sparse_bmm_via_dense,
+)
+from repro.matmul.dense import get_backend
+
+
+def brute_reference(a, b):
+    n, k = a.shape
+    _, p = b.shape
+    out = np.zeros((n, p), dtype=bool)
+    for i in range(n):
+        for j in range(p):
+            out[i, j] = any(a[i, t] and b[t, j] for t in range(k))
+    return out
+
+
+def test_known_product():
+    a = np.array([[1, 0], [0, 1]], dtype=bool)
+    b = np.array([[0, 1], [1, 0]], dtype=bool)
+    expected = np.array([[0, 1], [1, 0]], dtype=bool)
+    for backend in (bmm_numpy, bmm_naive, bmm_strassen):
+        assert (backend(a, b) == expected).all()
+
+
+def test_rectangular_shapes():
+    rng = np.random.default_rng(0)
+    a = rng.random((7, 13)) < 0.3
+    b = rng.random((13, 5)) < 0.3
+    reference = brute_reference(a, b)
+    for backend in (bmm_numpy, bmm_naive, bmm_strassen):
+        assert (backend(a, b) == reference).all()
+
+
+def test_incompatible_dimensions():
+    a = np.zeros((2, 3), dtype=bool)
+    b = np.zeros((4, 2), dtype=bool)
+    for backend in (bmm_numpy, bmm_naive, bmm_strassen):
+        with pytest.raises(ValueError):
+            backend(a, b)
+
+
+def test_non_2d_rejected():
+    with pytest.raises(ValueError):
+        bmm_numpy(np.zeros(3, dtype=bool), np.zeros((3, 3), dtype=bool))
+
+
+def test_integer_inputs_coerced():
+    a = np.array([[2, 0], [0, 5]])  # non-binary ints: truthiness
+    b = np.array([[1, 0], [0, 1]])
+    assert (bmm_numpy(a, b) == np.array([[1, 0], [0, 1]], dtype=bool)).all()
+
+
+def test_strassen_crosses_recursion_cutoff():
+    rng = np.random.default_rng(1)
+    size = 130  # > STRASSEN_CUTOFF after padding to 256
+    a = rng.random((size, size)) < 0.05
+    b = rng.random((size, size)) < 0.05
+    assert (bmm_strassen(a, b) == bmm_numpy(a, b)).all()
+
+
+def test_get_backend():
+    assert get_backend("numpy") is bmm_numpy
+    with pytest.raises(ValueError):
+        get_backend("quantum")
+
+
+@given(
+    arrays(bool, (6, 5), elements=st.booleans()),
+    arrays(bool, (5, 4), elements=st.booleans()),
+)
+def test_backends_agree(a, b):
+    reference = bmm_numpy(a, b)
+    assert (bmm_naive(a, b) == reference).all()
+    assert (bmm_strassen(a, b) == reference).all()
+
+
+# ---------------------------------------------------------------------
+# sparse
+# ---------------------------------------------------------------------
+
+def test_sparse_matrix_construction_and_shape():
+    m = SparseBooleanMatrix([(0, 1), (2, 3)])
+    assert m.shape == (3, 4)
+    assert m.nnz == 2
+
+
+def test_sparse_shape_validation():
+    with pytest.raises(ValueError):
+        SparseBooleanMatrix([(5, 0)], shape=(2, 2))
+    with pytest.raises(ValueError):
+        SparseBooleanMatrix([(-1, 0)])
+
+
+def test_sparse_dense_roundtrip():
+    m = SparseBooleanMatrix([(0, 0), (1, 2)], shape=(2, 3))
+    assert SparseBooleanMatrix.from_dense(m.to_dense()) == m
+
+
+def test_sparse_transpose():
+    m = SparseBooleanMatrix([(0, 1)], shape=(2, 3))
+    t = m.transpose()
+    assert t.shape == (3, 2)
+    assert (1, 0) in t.entries
+
+
+def test_sparse_bmm_matches_dense():
+    rng = np.random.default_rng(2)
+    a = SparseBooleanMatrix.from_dense(rng.random((12, 9)) < 0.2)
+    b = SparseBooleanMatrix.from_dense(rng.random((9, 11)) < 0.2)
+    expected = SparseBooleanMatrix.from_dense(
+        bmm_numpy(a.to_dense(), b.to_dense())
+    )
+    assert sparse_bmm(a, b) == expected
+    assert sparse_bmm_via_dense(a, b) == expected
+    assert sparse_bmm_via_dense(a, b, backend="strassen") == expected
+
+
+def test_sparse_bmm_dimension_check():
+    a = SparseBooleanMatrix([(0, 0)], shape=(1, 2))
+    b = SparseBooleanMatrix([(0, 0)], shape=(3, 1))
+    with pytest.raises(ValueError):
+        sparse_bmm(a, b)
+    with pytest.raises(ValueError):
+        sparse_bmm_via_dense(a, b)
+
+
+def test_sparse_bmm_empty():
+    a = SparseBooleanMatrix([], shape=(3, 3))
+    b = SparseBooleanMatrix([(0, 0)], shape=(3, 3))
+    assert sparse_bmm(a, b).nnz == 0
+
+
+@given(
+    st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=15),
+    st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=15),
+)
+def test_sparse_agrees_with_dense_property(a_entries, b_entries):
+    a = SparseBooleanMatrix(a_entries, shape=(6, 6))
+    b = SparseBooleanMatrix(b_entries, shape=(6, 6))
+    expected = SparseBooleanMatrix.from_dense(
+        bmm_numpy(a.to_dense(), b.to_dense())
+    )
+    assert sparse_bmm(a, b) == expected
+
+
+def test_rows_by_column_sorted():
+    m = SparseBooleanMatrix([(2, 0), (1, 0), (0, 1)])
+    assert m.rows_by_column()[0] == [1, 2]
+    assert m.cols_by_row()[0] == [1]

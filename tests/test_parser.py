@@ -1,0 +1,76 @@
+"""Parser tests."""
+
+import pytest
+
+from repro.query.parser import QueryParseError, parse_query
+
+
+def test_parse_basic():
+    q = parse_query("q(x, y) :- R(x, z), S(z, y)")
+    assert q.name == "q"
+    assert q.head == ("x", "y")
+    assert [a.relation for a in q.atoms] == ["R", "S"]
+    assert q.atoms[0].variables == ("x", "z")
+
+
+def test_parse_boolean_head():
+    q = parse_query("q() :- R(x, y)")
+    assert q.is_boolean()
+
+
+def test_parse_self_joins():
+    q = parse_query("q() :- R(x, y), R(y, z), R(z, x)")
+    assert not q.is_self_join_free()
+    assert len(q.atoms) == 3
+
+
+def test_parse_whitespace_insensitive():
+    q = parse_query("  q ( x )  :-   R ( x , y )  ")
+    assert q.head == ("x",)
+
+
+def test_parse_unary_atom():
+    q = parse_query("q(x) :- R(x), S(x, x)")
+    assert q.atoms[0].arity == 1
+    assert q.atoms[1].has_repeated_variables()
+
+
+def test_parse_missing_turnstile():
+    with pytest.raises(QueryParseError):
+        parse_query("q(x) R(x, y)")
+
+
+def test_parse_empty_body():
+    with pytest.raises(QueryParseError):
+        parse_query("q(x) :- ")
+
+
+def test_parse_atom_without_variables():
+    with pytest.raises(QueryParseError):
+        parse_query("q() :- R()")
+
+
+def test_parse_malformed_head():
+    with pytest.raises(QueryParseError):
+        parse_query("q(x :- R(x, y)")
+
+
+def test_parse_unbalanced_parens():
+    with pytest.raises(QueryParseError):
+        parse_query("q(x) :- R(x, y)), S(y)")
+
+
+def test_parse_bad_variable():
+    with pytest.raises(QueryParseError):
+        parse_query("q(x) :- R(x, 12)")
+
+
+def test_parse_unsafe_head_rejected():
+    with pytest.raises(ValueError):
+        parse_query("q(w) :- R(x, y)")
+
+
+def test_parse_roundtrip_through_str():
+    text = "q(x, y) :- R(x, z), S(z, y)"
+    q = parse_query(text)
+    assert parse_query(str(q)) == q

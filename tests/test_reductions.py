@@ -1,0 +1,385 @@
+"""Every reduction of the paper, verified end to end.
+
+For each reduction: yes-instances and no-instances of the source
+problem map to the correct query-level outcome, and the instance-size
+accounting claimed in the proof holds.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.matmul import sparse_bmm
+from repro.query import catalog, parse_query
+from repro.reductions import (
+    CliqueEmbedding,
+    DominatingSetToStarCounting,
+    HypercliqueToLoomisWhitney,
+    ThreeSumToSumOrderAccess,
+    TriangleToCyclicCQ,
+    blocked_star_query,
+    bmm_via_enumeration,
+    build_star_database,
+    detect_triangle_via_direct_access,
+    detect_triangle_via_testing,
+    example_5cycle_embedding,
+    figure1_ascii,
+    has_k_clique_np,
+    permutation_relation,
+    split_k,
+)
+from repro.reductions.hypotheses import ALL_HYPOTHESES
+from repro.reductions.triangle_cq import database_size_blowup
+from repro.solvers import (
+    has_dominating_set,
+    has_hyperclique_brute,
+    has_k_clique_brute,
+    has_triangle_naive,
+    min_weight_k_clique_brute,
+    threesum_hashing,
+)
+from repro.workloads import (
+    plant_hyperclique,
+    planted_clique_graph,
+    random_graph,
+    random_sparse_boolean_matrix,
+    random_uniform_hypergraph,
+    random_weighted_graph,
+    threesum_instance,
+    triangle_free_graph,
+)
+from repro.workloads.instances import dominating_set_instance
+
+
+# ---------------------------------------------------------------------
+# Proposition 3.3
+# ---------------------------------------------------------------------
+
+CYCLIC_GRAPHLIKE_TARGETS = [
+    catalog.triangle_query(),
+    catalog.cycle_query(4, boolean=True),
+    catalog.cycle_query(5, boolean=True),
+    catalog.cycle_query(6, boolean=True),
+    parse_query("q() :- A(p, x), R(x, y), S(y, z), T(z, x)"),
+]
+
+
+@pytest.mark.parametrize(
+    "target", CYCLIC_GRAPHLIKE_TARGETS, ids=lambda q: q.name
+)
+def test_prop33_yes_and_no_instances(target):
+    yes = triangle_free_graph(20, 35, seed=1, plant_triangle=True)
+    no = triangle_free_graph(20, 35, seed=2)
+    reduction = TriangleToCyclicCQ(target)
+    assert reduction.decide_triangle(yes)
+    assert not reduction.decide_triangle(no)
+
+
+def test_prop33_database_is_linear_in_graph():
+    target = catalog.cycle_query(5, boolean=True)
+    small = database_size_blowup(target, random_graph(20, 30, seed=3))
+    large = database_size_blowup(target, random_graph(200, 300, seed=4))
+    # size(D) grows linearly: ratio of database sizes tracks ratio of
+    # graph sizes within a constant factor.
+    assert large[1] <= 12 * large[0]
+    assert small[1] <= 12 * small[0]
+
+
+def test_prop33_rejects_wrong_queries():
+    with pytest.raises(ValueError):
+        TriangleToCyclicCQ(catalog.path_query(2, boolean=True))  # acyclic
+    with pytest.raises(ValueError):
+        TriangleToCyclicCQ(catalog.loomis_whitney_query(4))  # arity 3
+    with pytest.raises(ValueError):
+        TriangleToCyclicCQ(
+            parse_query("q() :- R(x, y), R(y, z), R(z, x)")
+        )  # self-joins
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_prop33_agrees_with_solver_on_random_graphs(seed):
+    graph = random_graph(14, 25, seed=seed)
+    reduction = TriangleToCyclicCQ(catalog.cycle_query(4, boolean=True))
+    assert reduction.decide_triangle(graph) == has_triangle_naive(graph)
+
+
+# ---------------------------------------------------------------------
+# Theorem 3.5
+# ---------------------------------------------------------------------
+
+def test_thm35_permutation_relation_size():
+    edges = random_uniform_hypergraph(8, 3, 12, seed=5)
+    rows = permutation_relation(edges, 3)
+    assert len(rows) == 12 * 6  # 3! orderings per edge
+
+
+def test_thm35_yes_and_no():
+    base = random_uniform_hypergraph(9, 3, 20, seed=6)
+    reduction = HypercliqueToLoomisWhitney(4)
+    assert reduction.decide_hyperclique(base) == has_hyperclique_brute(
+        base, 3, 4
+    )
+    planted, _ = plant_hyperclique(base, 9, 3, 4, seed=7)
+    assert reduction.decide_hyperclique(planted)
+
+
+def test_thm35_rejects_small_k():
+    with pytest.raises(ValueError):
+        HypercliqueToLoomisWhitney(3)
+
+
+# ---------------------------------------------------------------------
+# Lemma 3.9
+# ---------------------------------------------------------------------
+
+def test_lemma39_blocked_star_query_shape():
+    q = blocked_star_query(3, 2)
+    assert len(q.atoms) == 3
+    assert all(a.arity == 3 for a in q.atoms)
+    assert len(q.head) == 6
+    assert not q.is_self_join_free()
+    with pytest.raises(ValueError):
+        blocked_star_query(0, 1)
+
+
+def test_lemma39_requires_divisibility():
+    with pytest.raises(ValueError):
+        DominatingSetToStarCounting(2, 5)
+
+
+@pytest.mark.parametrize("k,k_prime", [(2, 2), (3, 3), (2, 4)])
+def test_lemma39_matches_solver(k, k_prime):
+    for seed, plant in ((8, True), (9, False)):
+        graph = dominating_set_instance(8, 9, k_prime, seed=seed, plant=plant)
+        reduction = DominatingSetToStarCounting(k, k_prime)
+        assert reduction.has_dominating_set(graph) == has_dominating_set(
+            graph, k_prime
+        ), (k, k_prime, seed)
+
+
+def test_lemma39_relation_size_bound():
+    graph = dominating_set_instance(7, 8, 2, seed=10)
+    reduction = DominatingSetToStarCounting(2, 4)  # block = 2
+    db = reduction.build_database(graph)
+    n = graph.number_of_nodes()
+    assert db.size() <= n ** (reduction.block + 1)
+
+
+# ---------------------------------------------------------------------
+# Theorem 3.15
+# ---------------------------------------------------------------------
+
+def test_thm315_database_encodes_transpose():
+    a = random_sparse_boolean_matrix(6, 5, 8, seed=11)
+    b = random_sparse_boolean_matrix(5, 7, 9, seed=12)
+    db = build_star_database(a, b)
+    assert len(db["R1"]) == a.nnz
+    assert len(db["R2"]) == b.nnz
+    assert all((j, k) in db["R2"] for (k, j) in b.entries)
+
+
+def test_thm315_product_matches_sparse_bmm():
+    for seed in (13, 14):
+        a = random_sparse_boolean_matrix(10, 8, 20, seed=seed)
+        b = random_sparse_boolean_matrix(8, 12, 25, seed=seed + 100)
+        assert bmm_via_enumeration(a, b) == sparse_bmm(a, b)
+
+
+def test_thm315_dimension_mismatch():
+    a = random_sparse_boolean_matrix(4, 4, 4, seed=15)
+    b = random_sparse_boolean_matrix(5, 5, 5, seed=16)
+    with pytest.raises(ValueError):
+        build_star_database(a, b)
+
+
+@given(
+    st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=12),
+    st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=12),
+)
+def test_thm315_property(a_entries, b_entries):
+    from repro.matmul import SparseBooleanMatrix
+
+    a = SparseBooleanMatrix(a_entries, shape=(5, 5))
+    b = SparseBooleanMatrix(b_entries, shape=(5, 5))
+    assert bmm_via_enumeration(a, b) == sparse_bmm(a, b)
+
+
+# ---------------------------------------------------------------------
+# Lemmas 3.20 / 3.21 / 3.23
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("plant", [True, False])
+def test_triangle_via_testing_and_direct_access(plant):
+    graph = triangle_free_graph(
+        18, 30, seed=17 if plant else 18, plant_triangle=plant
+    )
+    assert detect_triangle_via_testing(graph) == plant
+    assert detect_triangle_via_direct_access(graph) == plant
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_triangle_via_testing_random_graphs(seed):
+    graph = random_graph(15, 28, seed=30 + seed)
+    expected = has_triangle_naive(graph)
+    assert detect_triangle_via_testing(graph) == expected
+    assert detect_triangle_via_direct_access(graph) == expected
+
+
+# ---------------------------------------------------------------------
+# Lemma 3.25
+# ---------------------------------------------------------------------
+
+def test_lemma325_planted_and_unplanted():
+    reduction = ThreeSumToSumOrderAccess()
+    for seed, plant in ((19, True), (20, False)):
+        a, b, c = threesum_instance(25, plant=plant, seed=seed)
+        assert reduction.solve(a, b, c) == threesum_hashing(a, b, c)
+
+
+def test_lemma325_instance_size_linear():
+    reduction = ThreeSumToSumOrderAccess()
+    a, b, c = threesum_instance(40, plant=False, seed=21)
+    db, _ = reduction.build_instance(a, b)
+    assert db.size() <= 2 * (len(a) + len(b)) + 2
+
+
+def test_lemma325_custom_query_validation():
+    with pytest.raises(ValueError):
+        ThreeSumToSumOrderAccess(parse_query("q(x, y) :- R(x, y)"))
+    with pytest.raises(ValueError):
+        ThreeSumToSumOrderAccess(
+            parse_query("q(x, y) :- R(x, u), R(y, u)")
+        )  # self-joins
+    with pytest.raises(ValueError):
+        ThreeSumToSumOrderAccess(catalog.path_query(2).with_head(("v1",)))
+
+
+def test_lemma325_wider_query():
+    query = parse_query("q(x, y, u, w) :- R(x, u), S(u, w), T(w, y)")
+    reduction = ThreeSumToSumOrderAccess(query)
+    a, b, c = threesum_instance(15, plant=True, seed=22)
+    assert reduction.solve(a, b, c) == threesum_hashing(a, b, c)
+
+
+@given(
+    st.lists(st.integers(-15, 15), min_size=1, max_size=8),
+    st.lists(st.integers(-15, 15), min_size=1, max_size=8),
+    st.lists(st.integers(-15, 15), min_size=1, max_size=8),
+)
+def test_lemma325_property(a, b, c):
+    reduction = ThreeSumToSumOrderAccess()
+    assert reduction.solve(a, b, c) == threesum_hashing(a, b, c)
+
+
+# ---------------------------------------------------------------------
+# Theorem 4.1
+# ---------------------------------------------------------------------
+
+def test_split_k_parts():
+    assert split_k(3) == (1, 1, 1)
+    assert split_k(6) == (2, 2, 2)
+    assert sum(split_k(7)) == 7
+    assert sum(split_k(8)) == 8
+    with pytest.raises(ValueError):
+        split_k(2)
+
+
+@pytest.mark.parametrize("k", [3, 4, 5, 6])
+def test_thm41_matches_brute(k):
+    yes, _ = planted_clique_graph(14, 28, k, seed=23 + k)
+    assert has_k_clique_np(yes, k)
+    no = random_graph(12, 14, seed=40 + k)
+    assert has_k_clique_np(no, k) == has_k_clique_brute(no, k)
+
+
+def test_thm41_backend_choice():
+    graph, _ = planted_clique_graph(12, 20, 4, seed=50)
+    assert has_k_clique_np(graph, 4, backend="strassen")
+
+
+# ---------------------------------------------------------------------
+# Section 4.2: clique embeddings
+# ---------------------------------------------------------------------
+
+def test_example42_embedding_properties():
+    embedding = example_5cycle_embedding()
+    assert embedding.clique_size == 5
+    assert embedding.edge_depths() == {i: 4 for i in range(5)}
+    assert embedding.max_edge_depth() == 4
+    assert embedding.power_lower_bound() == pytest.approx(1.25)
+
+
+def test_embedding_validation_catches_bad_psis():
+    query = catalog.cycle_query(5)
+    with pytest.raises(ValueError):  # empty block
+        CliqueEmbedding(query, (frozenset(),)).validate()
+    with pytest.raises(ValueError):  # disconnected block
+        CliqueEmbedding(
+            query, (frozenset({"v1", "v3"}),)
+        ).validate()
+    with pytest.raises(ValueError):  # unchecked pair
+        CliqueEmbedding(
+            query,
+            (frozenset({"v1"}), frozenset({"v3"})),
+        ).validate()
+    with pytest.raises(ValueError):  # unknown variables
+        CliqueEmbedding(query, (frozenset({"nope"}),)).validate()
+
+
+def test_figure1_lists_every_clique_vertex_three_times():
+    art = figure1_ascii()
+    for i in range(1, 6):
+        assert art.count(f"x{i}") == 3
+
+
+def test_embedding_detects_5_cliques():
+    embedding = example_5cycle_embedding()
+    yes, _ = planted_clique_graph(9, 16, 5, seed=51)
+    assert embedding.has_clique(yes)
+    no = random_graph(9, 10, seed=52)
+    assert embedding.has_clique(no) == has_k_clique_brute(no, 5)
+
+
+def test_embedding_min_weight_matches_brute():
+    embedding = example_5cycle_embedding()
+    for seed in (53, 54):
+        graph, weights = random_weighted_graph(9, 28, seed=seed)
+        expected = min_weight_k_clique_brute(graph, 5, weights)
+        got = embedding.min_weight_clique(graph, weights)
+        if expected is None:
+            assert got == math.inf
+        else:
+            assert got == expected
+
+
+def test_embedding_database_size_accounting():
+    """Example 4.3: database size O(n^4) — each atom at most n^4 rows."""
+    embedding = example_5cycle_embedding()
+    graph = random_graph(6, 12, seed=55)
+    db, _ = embedding.build_database(graph)
+    n = graph.number_of_nodes()
+    for atom in embedding.query.atoms:
+        assert len(db[atom.relation]) <= n**4
+
+
+def test_triangle_embedding_via_clique_query():
+    """A K3 embedding into the triangle join query: singleton blocks."""
+    query = catalog.triangle_query(boolean=False)
+    embedding = CliqueEmbedding(
+        query,
+        (frozenset({"x"}), frozenset({"y"}), frozenset({"z"})),
+    )
+    embedding.validate()
+    assert embedding.power_lower_bound() == pytest.approx(1.5)
+    graph = random_graph(10, 20, seed=56)
+    assert embedding.has_clique(graph) == has_triangle_naive(graph)
+
+
+def test_hypotheses_registry():
+    assert len(ALL_HYPOTHESES) == 8
+    numbers = sorted(h.number for h in ALL_HYPOTHESES)
+    assert numbers == list(range(1, 9))
+    keys = {h.key for h in ALL_HYPOTHESES}
+    assert len(keys) == 8

@@ -1,0 +1,252 @@
+"""Reference solvers vs independent implementations (networkx etc.)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.solvers import (
+    dominating_set_witness,
+    find_triangle_naive,
+    has_dominating_set,
+    has_hyperclique_brute,
+    has_k_clique_brute,
+    has_triangle_ayz,
+    has_triangle_naive,
+    hyperclique_witness,
+    k_clique_witness,
+    min_weight_k_clique_brute,
+    threesum_hashing,
+    threesum_quadratic,
+    threesum_witness,
+    zero_k_clique_brute,
+)
+from repro.solvers.dominating_set import is_dominating_set
+from repro.solvers.hyperclique import normalize_hypergraph
+from repro.workloads import (
+    planted_clique_graph,
+    random_graph,
+    random_uniform_hypergraph,
+    random_weighted_graph,
+    threesum_instance,
+    triangle_free_graph,
+)
+from repro.workloads.graphs import zero_clique_instance
+
+
+# ---------------------------------------------------------------------
+# triangles
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(5))
+def test_triangle_solvers_agree_with_networkx(seed):
+    graph = random_graph(20, 40, seed=seed)
+    expected = any(nx.triangles(graph).values())
+    assert has_triangle_naive(graph) == expected
+    assert has_triangle_ayz(graph) == expected
+    assert has_triangle_ayz(graph, backend="strassen") == expected
+    assert (find_triangle_naive(graph) is not None) == expected
+
+
+def test_triangle_free_graph_is_triangle_free():
+    graph = triangle_free_graph(30, 80, seed=1)
+    assert not has_triangle_naive(graph)
+    planted = triangle_free_graph(30, 80, seed=1, plant_triangle=True)
+    assert has_triangle_naive(planted)
+
+
+def test_find_triangle_witness_is_valid():
+    graph = triangle_free_graph(20, 30, seed=2, plant_triangle=True)
+    a, b, c = find_triangle_naive(graph)
+    assert graph.has_edge(a, b)
+    assert graph.has_edge(b, c)
+    assert graph.has_edge(c, a)
+
+
+def test_triangle_ignores_self_loops():
+    graph = nx.Graph()
+    graph.add_edges_from([(1, 1), (1, 2)])
+    assert not has_triangle_naive(graph)
+    assert not has_triangle_ayz(graph)
+
+
+# ---------------------------------------------------------------------
+# cliques
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def test_clique_solver_agrees_with_networkx(k):
+    graph = random_graph(16, 45, seed=10 + k)
+    clique_number = max(
+        (len(c) for c in nx.find_cliques(graph)), default=0
+    )
+    assert has_k_clique_brute(graph, k) == (clique_number >= k)
+
+
+def test_clique_witness_is_a_clique():
+    graph, planted = planted_clique_graph(15, 25, 4, seed=20)
+    witness = k_clique_witness(graph, 4)
+    assert witness is not None
+    for i, u in enumerate(witness):
+        for v in witness[i + 1 :]:
+            assert graph.has_edge(u, v)
+
+
+def test_min_weight_clique_matches_manual():
+    graph, weights = random_weighted_graph(8, 20, seed=21)
+    best = min_weight_k_clique_brute(graph, 3, weights)
+    manual = None
+    import itertools
+
+    for combo in itertools.combinations(graph.nodes(), 3):
+        if all(
+            graph.has_edge(a, b)
+            for a, b in itertools.combinations(combo, 2)
+        ):
+            total = sum(
+                weights[frozenset((a, b))]
+                for a, b in itertools.combinations(combo, 2)
+            )
+            manual = total if manual is None else min(manual, total)
+    assert best == manual
+
+
+def test_zero_clique_planted_found():
+    graph, weights = zero_clique_instance(12, 25, 4, seed=22, plant=True)
+    witness = zero_k_clique_brute(graph, 4, weights)
+    assert witness is not None
+    import itertools
+
+    total = sum(
+        weights[frozenset((a, b))]
+        for a, b in itertools.combinations(witness, 2)
+    )
+    assert total == 0
+
+
+def test_zero_clique_absent_when_unplanted():
+    graph, weights = zero_clique_instance(10, 15, 4, seed=23, plant=False)
+    witness = zero_k_clique_brute(graph, 4, weights)
+    if witness is not None:  # astronomically unlikely, but verify
+        import itertools
+
+        total = sum(
+            weights[frozenset((a, b))]
+            for a, b in itertools.combinations(witness, 2)
+        )
+        assert total == 0
+
+
+# ---------------------------------------------------------------------
+# hypercliques
+# ---------------------------------------------------------------------
+
+def test_hyperclique_complete_hypergraph():
+    from itertools import combinations
+
+    edges = [frozenset(c) for c in combinations(range(5), 3)]
+    assert has_hyperclique_brute(edges, 3, 5)
+    witness = hyperclique_witness(edges, 3, 4)
+    assert witness is not None and len(witness) == 4
+
+
+def test_hyperclique_absent():
+    edges = [frozenset({0, 1, 2}), frozenset({2, 3, 4})]
+    assert not has_hyperclique_brute(edges, 3, 4)
+
+
+def test_hyperclique_witness_is_valid():
+    from itertools import combinations
+
+    from repro.workloads import plant_hyperclique
+
+    base = random_uniform_hypergraph(9, 3, 25, seed=30)
+    edges, chosen = plant_hyperclique(base, 9, 3, 5, seed=31)
+    witness = hyperclique_witness(edges, 3, 5)
+    assert witness is not None
+    for sub in combinations(witness, 3):
+        assert frozenset(sub) in set(edges)
+
+
+def test_hyperclique_validation():
+    with pytest.raises(ValueError):
+        normalize_hypergraph([{1, 2}], 3)
+    with pytest.raises(ValueError):
+        hyperclique_witness([{1, 2, 3}], 3, 2)
+
+
+# ---------------------------------------------------------------------
+# dominating sets
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(4))
+def test_dominating_set_agrees_with_bruteforce_networkx(seed):
+    graph = random_graph(9, 12, seed=seed)
+    # networkx's approximation is an upper bound; compare to manual brute.
+    import itertools
+
+    for k in (1, 2, 3):
+        expected = any(
+            is_dominating_set(graph, combo)
+            for size in range(1, k + 1)
+            for combo in itertools.combinations(graph.nodes(), size)
+        )
+        assert has_dominating_set(graph, k) == expected, (seed, k)
+
+
+def test_dominating_set_witness_dominates():
+    graph = random_graph(12, 20, seed=40)
+    witness = dominating_set_witness(graph, 4)
+    if witness is not None:
+        assert is_dominating_set(graph, witness)
+        assert len(witness) <= 4
+
+
+def test_dominating_set_whole_graph():
+    graph = nx.empty_graph(4)
+    assert has_dominating_set(graph, 4)
+    assert not has_dominating_set(graph, 3)
+
+
+# ---------------------------------------------------------------------
+# 3SUM
+# ---------------------------------------------------------------------
+
+def test_threesum_known_instance():
+    a, b, c = [1, 2], [10, 20], [21, 5]
+    assert threesum_hashing(a, b, c)
+    assert threesum_quadratic(a, b, c)
+    assert threesum_witness(a, b, c) is not None
+
+
+def test_threesum_negative_instance():
+    a, b, c = [1, 2], [10, 20], [100, 200]
+    assert not threesum_hashing(a, b, c)
+    assert not threesum_quadratic(a, b, c)
+    assert threesum_witness(a, b, c) is None
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_threesum_solvers_agree_on_instances(seed):
+    a, b, c = threesum_instance(25, plant=(seed % 2 == 0), seed=seed)
+    expected = threesum_hashing(a, b, c)
+    assert threesum_quadratic(a, b, c) == expected
+    assert (threesum_witness(a, b, c) is not None) == expected
+
+
+def test_threesum_witness_sums():
+    a, b, c = threesum_instance(20, plant=True, seed=50)
+    x, y, z = threesum_witness(a, b, c)
+    assert x + y == z
+    assert x in a and y in b and z in c
+
+
+@given(
+    st.lists(st.integers(-30, 30), min_size=1, max_size=12),
+    st.lists(st.integers(-30, 30), min_size=1, max_size=12),
+    st.lists(st.integers(-30, 30), min_size=1, max_size=12),
+)
+def test_threesum_solvers_agree_property(a, b, c):
+    brute = any(x + y == z for x in a for y in b for z in c)
+    assert threesum_hashing(a, b, c) == brute
+    assert threesum_quadratic(a, b, c) == brute

@@ -1,0 +1,128 @@
+"""Utilities: RNG helpers, timing, scaling-exponent fits."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    ScalingFit,
+    Stopwatch,
+    fit_scaling_exponent,
+    geometric_sizes,
+    make_rng,
+    sample_distinct_pairs,
+    time_call,
+)
+from repro.util.scaling import crossover_point
+from repro.util.timing import time_sweep
+
+
+def test_make_rng_variants():
+    assert make_rng(1).random() == make_rng(1).random()
+    rng = random.Random(3)
+    assert make_rng(rng) is rng
+    assert make_rng(None).random() == make_rng(0).random()
+
+
+def test_sample_distinct_pairs_properties():
+    rng = make_rng(1)
+    pairs = sample_distinct_pairs(rng, 10, 20, ordered=True)
+    assert len(pairs) == len(set(pairs)) == 20
+    assert all(a != b for a, b in pairs)
+    undirected = sample_distinct_pairs(make_rng(2), 10, 40, ordered=False)
+    assert all(a < b for a, b in undirected)
+
+
+def test_sample_distinct_pairs_dense_request():
+    pairs = sample_distinct_pairs(make_rng(3), 5, 10, ordered=False)
+    assert len(pairs) == 10  # all C(5,2) pairs
+
+
+def test_sample_distinct_pairs_errors():
+    with pytest.raises(ValueError):
+        sample_distinct_pairs(make_rng(0), 1, 1)
+    with pytest.raises(ValueError):
+        sample_distinct_pairs(make_rng(0), 3, 100)
+
+
+def test_stopwatch_laps():
+    watch = Stopwatch()
+    watch.lap()
+    watch.lap()
+    assert len(watch.laps) == 2
+    assert watch.max_lap() >= 0
+    assert watch.elapsed() >= 0
+    watch.reset()
+    assert watch.laps == []
+
+
+def test_time_call_repeats():
+    calls = []
+    result = time_call(lambda: calls.append(1) or 7, repeats=3)
+    assert result.value == 7
+    assert len(calls) == 3
+    assert result.per_call <= result.seconds
+    with pytest.raises(ValueError):
+        time_call(lambda: None, repeats=0)
+
+
+def test_time_sweep_shape():
+    out = time_sweep(lambda n: sum(range(n)), [10, 100])
+    assert [s for s, _ in out] == [10, 100]
+    assert all(t >= 0 for _, t in out)
+
+
+def test_fit_recovers_known_exponent():
+    points = [(n, 3e-7 * n**1.5) for n in (100, 200, 400, 800, 1600)]
+    fit = fit_scaling_exponent(points)
+    assert fit.exponent == pytest.approx(1.5, abs=1e-9)
+    assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+    assert fit.within(1.5, 0.01)
+    assert fit.predict(100) == pytest.approx(3e-7 * 1000, rel=1e-6)
+
+
+def test_fit_requires_two_distinct_points():
+    with pytest.raises(ValueError):
+        fit_scaling_exponent([(10, 1.0)])
+    with pytest.raises(ValueError):
+        fit_scaling_exponent([(10, 1.0), (10, 2.0)])
+    with pytest.raises(ValueError):
+        fit_scaling_exponent([(10, 0.0), (20, 0.0)])
+
+
+@given(
+    st.floats(min_value=0.5, max_value=3.5),
+    st.floats(min_value=-20, max_value=-10),
+)
+def test_fit_property_exact_power_laws(exponent, log_c):
+    points = [
+        (n, math.exp(log_c) * n**exponent) for n in (50, 100, 200, 400)
+    ]
+    fit = fit_scaling_exponent(points)
+    assert fit.exponent == pytest.approx(exponent, abs=1e-6)
+
+
+def test_geometric_sizes():
+    assert geometric_sizes(100, 2, 4) == [100, 200, 400, 800]
+    # 22.5 rounds to 22 under banker's rounding
+    assert geometric_sizes(10, 1.5, 3) == [10, 15, 22]
+    assert geometric_sizes(1, 2, 5, cap=8) == [1, 2, 4, 8]
+    with pytest.raises(ValueError):
+        geometric_sizes(0, 2, 3)
+    with pytest.raises(ValueError):
+        geometric_sizes(10, 1.0, 3)
+    with pytest.raises(ValueError):
+        geometric_sizes(10, 2.0, 0)
+
+
+def test_crossover_point():
+    slow = fit_scaling_exponent([(n, 1e-6 * n**2) for n in (10, 100, 1000)])
+    fast = fit_scaling_exponent(
+        [(n, 1e-3 * n**1) for n in (10, 100, 1000)]
+    )
+    cross = crossover_point(slow, fast)
+    assert cross == pytest.approx(1000.0, rel=1e-6)
+    assert math.isinf(crossover_point(slow, slow))

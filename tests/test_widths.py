@@ -1,0 +1,122 @@
+"""Fractional edge covers, AGM exponents, independent sets / covers."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.hypergraph.gyo import is_acyclic
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.widths import (
+    agm_bound,
+    agm_exponent,
+    fractional_edge_cover,
+    integral_edge_cover_number,
+    max_independent_set,
+)
+from repro.query import catalog
+
+from tests.strategies import acyclic_hypergraph_edges
+
+
+def test_triangle_agm_exponent_three_halves():
+    rho = agm_exponent(catalog.triangle_query().hypergraph())
+    assert math.isclose(rho, 1.5, abs_tol=1e-9)
+
+
+def test_loomis_whitney_agm_exponent():
+    # Example 3.4: rho* = k/(k-1), the exponent of the LW algorithm.
+    for k in (3, 4, 5, 6):
+        rho = agm_exponent(catalog.loomis_whitney_query(k).hypergraph())
+        assert math.isclose(rho, k / (k - 1), abs_tol=1e-9), k
+
+
+def test_cycle_agm_exponent_k_over_two():
+    for k in (4, 5, 6):
+        rho = agm_exponent(catalog.cycle_query(k).hypergraph())
+        assert math.isclose(rho, k / 2, abs_tol=1e-9), k
+
+
+def test_path_agm_exponent_integral():
+    # Path with k edges: cover with ceil((k+1)/2) alternate edges.
+    rho = agm_exponent(catalog.path_query(3).hypergraph())
+    assert math.isclose(rho, 2.0, abs_tol=1e-9)
+
+
+def test_clique_query_agm_exponent():
+    rho = agm_exponent(catalog.clique_query(4).hypergraph())
+    assert math.isclose(rho, 2.0, abs_tol=1e-9)
+
+
+def test_edge_cover_weights_cover_each_vertex():
+    h = catalog.triangle_query().hypergraph()
+    value, weights = fractional_edge_cover(h)
+    for v in h.vertices:
+        covered = sum(
+            w for i, w in weights.items() if v in h.edges[i]
+        )
+        assert covered >= 1 - 1e-9
+    assert math.isclose(sum(weights.values()), value, abs_tol=1e-9)
+
+
+def test_edge_cover_subset():
+    h = catalog.path_query(2).hypergraph()
+    value, _ = fractional_edge_cover(h, subset={"v1"})
+    assert math.isclose(value, 1.0, abs_tol=1e-9)
+
+
+def test_edge_cover_infeasible_vertex():
+    h = Hypergraph({"a", "b"}, [frozenset({"a"})])
+    with pytest.raises(ValueError):
+        fractional_edge_cover(h, subset={"b"})
+
+
+def test_agm_bound_values():
+    h = catalog.triangle_query().hypergraph()
+    assert math.isclose(agm_bound(h, 100), 1000.0, rel_tol=1e-6)
+    assert agm_bound(h, 0) == 0.0
+    with pytest.raises(ValueError):
+        agm_bound(h, -1)
+
+
+def test_max_independent_set_star():
+    h = catalog.star_query(3).hypergraph()
+    independent = max_independent_set(h, {"x1", "x2", "x3"})
+    assert independent == frozenset({"x1", "x2", "x3"})
+
+
+def test_max_independent_set_respects_edges():
+    h = catalog.path_query(2).hypergraph()
+    independent = max_independent_set(h)
+    assert independent == frozenset({"v1", "v3"})
+
+
+def test_integral_edge_cover_star():
+    h = catalog.star_query(3).hypergraph()
+    assert integral_edge_cover_number(h) == 3
+
+
+def test_integral_edge_cover_covering_atom():
+    q = catalog.star_query_full(2)
+    h = q.hypergraph().with_extra_edge(q.variables)
+    assert integral_edge_cover_number(h) == 1
+
+
+@given(acyclic_hypergraph_edges(max_vertices=6))
+def test_acyclic_cover_equals_independence(edges):
+    """[39, Lemma 19]: on acyclic hypergraphs, min edge cover =
+    max independent set (the fact behind Theorem 3.26)."""
+    vertices = {v for e in edges for v in e}
+    h = Hypergraph(vertices, edges)
+    assert is_acyclic(h)
+    cover = integral_edge_cover_number(h)
+    independent = len(max_independent_set(h))
+    assert cover == independent
+
+
+@given(acyclic_hypergraph_edges(max_vertices=6))
+def test_fractional_at_most_integral(edges):
+    vertices = {v for e in edges for v in e}
+    h = Hypergraph(vertices, edges)
+    fractional, _ = fractional_edge_cover(h)
+    assert fractional <= integral_edge_cover_number(h) + 1e-9

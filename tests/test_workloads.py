@@ -1,0 +1,130 @@
+"""Workload generators: determinism, sizes, planted structure."""
+
+import pytest
+
+from repro.query import catalog
+from repro.solvers import has_k_clique_brute, has_triangle_naive
+from repro.workloads import (
+    agm_tight_triangle_db,
+    dominating_set_instance,
+    plant_hyperclique,
+    planted_clique_graph,
+    random_database,
+    random_graph,
+    random_sparse_boolean_matrix,
+    random_star_db,
+    random_triangle_db,
+    random_uniform_hypergraph,
+    random_weighted_graph,
+    threesum_instance,
+    triangle_free_graph,
+)
+from repro.workloads.databases import functional_path_db
+
+
+def test_random_graph_shape_and_determinism():
+    g1 = random_graph(30, 50, seed=1)
+    g2 = random_graph(30, 50, seed=1)
+    g3 = random_graph(30, 50, seed=2)
+    assert g1.number_of_nodes() == 30
+    assert g1.number_of_edges() == 50
+    assert set(g1.edges()) == set(g2.edges())
+    assert set(g1.edges()) != set(g3.edges())
+
+
+def test_triangle_free_graph_bipartite():
+    graph = triangle_free_graph(20, 40, seed=3)
+    assert not has_triangle_naive(graph)
+    assert graph.number_of_edges() == 40
+
+
+def test_triangle_free_graph_edge_cap():
+    with pytest.raises(ValueError):
+        triangle_free_graph(4, 100, seed=4)
+
+
+def test_planted_clique_present():
+    graph, clique = planted_clique_graph(20, 30, 5, seed=5)
+    assert len(clique) == 5
+    assert has_k_clique_brute(graph, 5)
+
+
+def test_random_weighted_graph_weights_cover_edges():
+    graph, weights = random_weighted_graph(10, 20, seed=6)
+    for u, v in graph.edges():
+        assert frozenset((u, v)) in weights
+
+
+def test_random_database_relations_and_arity():
+    query = catalog.loomis_whitney_query(4)
+    db = random_database(query, 30, 5, seed=7)
+    assert set(db.names()) == set(query.relation_symbols)
+    for atom in query.atoms:
+        assert db[atom.relation].arity == atom.arity
+        assert len(db[atom.relation]) <= 30
+
+
+def test_agm_tight_triangle_db_structure():
+    db = agm_tight_triangle_db(100)
+    assert len(db["R1"]) == 100
+    query = catalog.triangle_query(boolean=False)
+    # Every combination is an answer: 10^3.
+    assert query.count_brute_force(db) == 1000
+
+
+def test_random_triangle_db_and_star_db():
+    db = random_triangle_db(25, 6, seed=8)
+    assert set(db.names()) == {"R1", "R2", "R3"}
+    star = random_star_db(3, 20, 5, seed=9, self_join_free=True)
+    assert set(star.names()) == {"R1", "R2", "R3"}
+    star2 = random_star_db(3, 20, 5, seed=9)
+    assert set(star2.names()) == {"R"}
+
+
+def test_functional_path_db_output_linear():
+    db = functional_path_db(2, 50, seed=10)
+    query = catalog.path_query(2)
+    answers = query.evaluate_brute_force(db)
+    assert len(answers) <= 50 * 9  # branching at most 3 per hop
+
+
+def test_hypergraph_generator_uniform():
+    edges = random_uniform_hypergraph(10, 3, 30, seed=11)
+    assert len(edges) == 30
+    assert all(len(e) == 3 for e in edges)
+    with pytest.raises(ValueError):
+        random_uniform_hypergraph(4, 5, 1, seed=12)
+    with pytest.raises(ValueError):
+        random_uniform_hypergraph(4, 3, 100, seed=13)
+
+
+def test_plant_hyperclique_adds_all_subsets():
+    from itertools import combinations
+
+    base = random_uniform_hypergraph(8, 3, 10, seed=14)
+    edges, chosen = plant_hyperclique(base, 8, 3, 4, seed=15)
+    for sub in combinations(chosen, 3):
+        assert frozenset(sub) in edges
+    assert base <= edges
+
+
+def test_threesum_instance_range_and_planting():
+    a, b, c = threesum_instance(20, plant=True, seed=16)
+    bound = 20**4
+    assert all(-bound <= v <= bound for v in a + b + c)
+    assert any(x + y == z for x in a for y in b for z in c)
+
+
+def test_dominating_set_instance_planted():
+    from repro.solvers import has_dominating_set
+
+    graph = dominating_set_instance(15, 10, 3, seed=17, plant=True)
+    assert has_dominating_set(graph, 3)
+
+
+def test_sparse_matrix_generator():
+    m = random_sparse_boolean_matrix(10, 12, 30, seed=18)
+    assert m.shape == (10, 12)
+    assert m.nnz == 30
+    with pytest.raises(ValueError):
+        random_sparse_boolean_matrix(2, 2, 10, seed=19)
