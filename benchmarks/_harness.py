@@ -9,8 +9,10 @@ slope) are what the benches report and, where robust, assert loosely.
 
 from __future__ import annotations
 
+import json
+import os
 import time
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.util.scaling import ScalingFit, fit_scaling_exponent
 
@@ -50,3 +52,37 @@ def fmt_seconds(seconds: float) -> str:
     if seconds < 1.0:
         return f"{seconds * 1e3:.1f}ms"
     return f"{seconds:.2f}s"
+
+
+# ----------------------------------------------------------------------
+# perf-trajectory files
+# ----------------------------------------------------------------------
+def emit_perf_trajectory(
+    name: str, entries: List[Dict], directory: "str | None" = None
+) -> str:
+    """Append one measurement run to ``BENCH_<name>.json``.
+
+    The file holds a list of runs, each ``{"entries": [...]}`` where an
+    entry records workload, backend, size and seconds.  Keeping every
+    run (not just the latest) gives future PRs a perf *trajectory* to
+    diff against, so a regression shows up as a trend break rather than
+    being silently overwritten.  The history is capped to the most
+    recent 50 runs to keep the file reviewable.
+    """
+    directory = directory or os.path.dirname(__file__)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    history: List[Dict] = []
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                history = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = []
+    history.append({"entries": entries})
+    history = history[-50:]
+    with open(path, "w") as handle:
+        json.dump(history, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

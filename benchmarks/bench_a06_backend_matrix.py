@@ -1,0 +1,126 @@
+"""A6 — execution-backend matrix: python (hash sets) vs columnar (NumPy).
+
+Runs the same workloads through both storage/execution backends and
+checks the columnar backend's contract from the PR that introduced it:
+
+- **triangle join** (AGM-tight instance, binary left-deep plan): the
+  classic Θ(m^{3/2})-output instance, dominated by bulk hash joins;
+- **Yannakakis** (acyclic chain, ≥ 10^5 tuples): dominated by the
+  semijoin full reducer and output-sized joins.
+
+Asserted: results identical across backends, and the columnar backend
+at least 5× faster on both workloads (measured headroom is well above
+that — typically 15–80×).  Timings of every run are appended to
+``benchmarks/BENCH_backends.json`` so later PRs can diff the perf
+trajectory and catch regressions.
+"""
+
+import time
+
+from repro.joins import left_deep_plan_join, yannakakis_full
+from repro.query import catalog
+from repro.workloads import agm_tight_triangle_db, functional_path_db
+
+from benchmarks._harness import emit_perf_trajectory, fmt_seconds
+
+TRIANGLE_M = 3000  # ≥ 300 required; 3000 keeps the python side < 1s
+CHAIN_LENGTH = 4
+CHAIN_M = 100_000
+MIN_SPEEDUP = 5.0
+
+TRIANGLE_QUERY = catalog.triangle_query(boolean=False)
+CHAIN_QUERY = catalog.path_query(CHAIN_LENGTH, boolean=False).as_join_query()
+
+
+def _timed(run):
+    start = time.perf_counter()
+    result = run()
+    return result, time.perf_counter() - start
+
+
+def test_a6_triangle_backend_matrix(benchmark, experiment_report):
+    databases = {
+        backend: agm_tight_triangle_db(TRIANGLE_M, backend=backend)
+        for backend in ("python", "columnar")
+    }
+
+    def run():
+        results, seconds = {}, {}
+        for backend, db in databases.items():
+            results[backend], seconds[backend] = _timed(
+                lambda db=db: left_deep_plan_join(TRIANGLE_QUERY, db)
+            )
+        return results, seconds
+
+    results, seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    answers = {
+        backend: sorted(frame.to_tuples())
+        for backend, frame in results.items()
+    }
+    assert answers["python"] == answers["columnar"]  # identical output
+    speedup = seconds["python"] / seconds["columnar"]
+    experiment_report.row(
+        f"triangle join, AGM-tight m={TRIANGLE_M}",
+        f"columnar ≥ {MIN_SPEEDUP:.0f}x faster",
+        f"{speedup:.1f}x (python {fmt_seconds(seconds['python'])}, "
+        f"columnar {fmt_seconds(seconds['columnar'])}, "
+        f"|out|={len(answers['python'])})",
+    )
+    emit_perf_trajectory(
+        "backends",
+        [
+            {
+                "workload": "triangle_agm_ldp",
+                "backend": backend,
+                "m": TRIANGLE_M,
+                "seconds": seconds[backend],
+            }
+            for backend in seconds
+        ],
+    )
+    assert speedup >= MIN_SPEEDUP
+
+
+def test_a6_yannakakis_backend_matrix(benchmark, experiment_report):
+    databases = {
+        backend: functional_path_db(
+            CHAIN_LENGTH, CHAIN_M, seed=3, backend=backend
+        )
+        for backend in ("python", "columnar")
+    }
+
+    def run():
+        results, seconds = {}, {}
+        for backend, db in databases.items():
+            results[backend], seconds[backend] = _timed(
+                lambda db=db: yannakakis_full(CHAIN_QUERY, db)
+            )
+        return results, seconds
+
+    results, seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    answers = {
+        backend: sorted(frame.to_tuples())
+        for backend, frame in results.items()
+    }
+    assert answers["python"] == answers["columnar"]  # identical output
+    speedup = seconds["python"] / seconds["columnar"]
+    experiment_report.row(
+        f"Yannakakis, chain len={CHAIN_LENGTH}, m={CHAIN_M} per relation",
+        f"columnar ≥ {MIN_SPEEDUP:.0f}x faster",
+        f"{speedup:.1f}x (python {fmt_seconds(seconds['python'])}, "
+        f"columnar {fmt_seconds(seconds['columnar'])}, "
+        f"|out|={len(answers['python'])})",
+    )
+    emit_perf_trajectory(
+        "backends",
+        [
+            {
+                "workload": "yannakakis_chain",
+                "backend": backend,
+                "m": CHAIN_M * CHAIN_LENGTH,
+                "seconds": seconds[backend],
+            }
+            for backend in seconds
+        ],
+    )
+    assert speedup >= MIN_SPEEDUP

@@ -1,4 +1,4 @@
-"""Relational substrate: relations, databases, hash indexes.
+"""Relational substrate: relations, databases, hash and array indexes.
 
 The machine model in the paper is a RAM with unit-cost operations; the
 natural Python analogue is tuple stores backed by hash maps.  A
@@ -6,9 +6,24 @@ natural Python analogue is tuple stores backed by hash maps.  A
 indexes; a :class:`Database` maps relation names to relations and
 accounts for the total input size ``m`` (number of tuples), the quantity
 every runtime bound in the paper is stated in.
+
+Two storage backends implement the common tuple-store interface
+(:mod:`repro.db.interface`): the default ``"python"`` backend
+(:class:`Relation`, hash sets of tuples) and the opt-in ``"columnar"``
+backend (:class:`ColumnarRelation`, dictionary-encoded NumPy columns —
+see :mod:`repro.db.columnar`), selected via ``Database(backend=...)``.
 """
 
+from repro.db.columnar import ColumnarRelation, Dictionary
 from repro.db.database import Database
+from repro.db.interface import FrameAlgebra, TupleStore
 from repro.db.relation import Relation
 
-__all__ = ["Database", "Relation"]
+__all__ = [
+    "ColumnarRelation",
+    "Database",
+    "Dictionary",
+    "FrameAlgebra",
+    "Relation",
+    "TupleStore",
+]

@@ -11,15 +11,32 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence
 
+from repro.db.columnar import ColumnarRelation, Dictionary
+from repro.db.interface import BACKENDS, check_backend
 from repro.db.relation import Relation, Row, Value
 
 
 class Database:
-    """A mapping from relation names to :class:`Relation` objects."""
+    """A mapping from relation names to relation objects.
+
+    The ``backend`` switch selects the storage class for relations the
+    database creates itself (:meth:`from_dict`, :meth:`ensure_relation`,
+    :meth:`to_backend`): ``"python"`` (default) builds hash-set
+    :class:`Relation` objects, ``"columnar"`` builds dictionary-encoded
+    :class:`~repro.db.columnar.ColumnarRelation` objects that all share
+    one value :class:`~repro.db.columnar.Dictionary`, so the vectorized
+    join stack compares int codes instead of Python values.
+    """
 
     def __init__(
-        self, relations: Optional[Iterable[Relation]] = None
+        self,
+        relations: Optional[Iterable[Relation]] = None,
+        backend: str = "python",
     ) -> None:
+        self.backend = check_backend(backend)
+        self._dictionary: Optional[Dictionary] = (
+            Dictionary() if backend == "columnar" else None
+        )
         self._relations: Dict[str, Relation] = {}
         if relations is not None:
             for rel in relations:
@@ -28,9 +45,25 @@ class Database:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    def new_relation(
+        self, name: str, arity: int, rows: Optional[Iterable] = None
+    ):
+        """A relation of this database's backend (not yet registered).
+
+        Columnar relations share the database-wide value dictionary, so
+        joins between them compare codes directly.
+        """
+        if self.backend == "columnar":
+            return ColumnarRelation(
+                name, arity, rows, dictionary=self._dictionary
+            )
+        return Relation(name, arity, rows)
+
     @classmethod
     def from_dict(
-        cls, data: Mapping[str, Iterable[Sequence[Value]]]
+        cls,
+        data: Mapping[str, Iterable[Sequence[Value]]],
+        backend: str = "python",
     ) -> "Database":
         """Build a database from ``{name: iterable of tuples}``.
 
@@ -38,7 +71,7 @@ class Database:
         iterables are rejected here because their arity is ambiguous
         (use :meth:`add_relation` with an explicit arity instead).
         """
-        db = cls()
+        db = cls(backend=backend)
         for name, rows in data.items():
             rows = [tuple(r) for r in rows]
             if not rows:
@@ -46,26 +79,47 @@ class Database:
                     f"cannot infer arity of empty relation {name!r}; "
                     "construct a Relation with explicit arity instead"
                 )
-            db.add_relation(Relation(name, len(rows[0]), rows))
+            db.add_relation(db.new_relation(name, len(rows[0]), rows))
         return db
 
     def add_relation(self, relation: Relation) -> None:
-        """Register a relation; names must be unique."""
+        """Register a relation; names must be unique.
+
+        Any backend's relation object may be registered regardless of
+        the database's own backend — the frame layer coerces between
+        backends where needed.
+        """
         if relation.name in self._relations:
             raise ValueError(f"duplicate relation name {relation.name!r}")
         self._relations[relation.name] = relation
 
     def ensure_relation(self, name: str, arity: int) -> Relation:
-        """Get the named relation, creating an empty one if absent."""
+        """Get the named relation, creating an empty one if absent.
+
+        Created relations use the database's backend.
+        """
         rel = self._relations.get(name)
         if rel is None:
-            rel = Relation(name, arity)
+            rel = self.new_relation(name, arity)
             self._relations[name] = rel
         elif rel.arity != arity:
             raise ValueError(
                 f"relation {name!r} has arity {rel.arity}, expected {arity}"
             )
         return rel
+
+    def to_backend(self, backend: str) -> "Database":
+        """A copy of this database with every relation converted.
+
+        Converting to ``"columnar"`` bulk-encodes each relation into a
+        dictionary shared across the new database; converting to
+        ``"python"`` decodes back to tuple sets.  A no-op backend still
+        returns an independent copy.
+        """
+        out = Database(backend=backend)
+        for rel in self._relations.values():
+            out.add_relation(out.new_relation(rel.name, rel.arity, rel))
+        return out
 
     # ------------------------------------------------------------------
     # access
@@ -106,7 +160,14 @@ class Database:
         in place, so algorithm entry points copy their input first to
         keep the public API side-effect free.
         """
-        return Database(rel.copy() for rel in self._relations.values())
+        out = Database(backend=self.backend)
+        # Copied columnar relations keep their (append-only) dictionary;
+        # the copy must create new relations against that same one to
+        # preserve the shared-dictionary invariant.
+        out._dictionary = self._dictionary
+        for rel in self._relations.values():
+            out.add_relation(rel.copy())
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(

@@ -1,0 +1,85 @@
+"""The common backend interface for tuple stores and frames.
+
+The repo ships two execution backends behind one contract:
+
+========================  ==============================  =============================
+role                      ``"python"`` backend            ``"columnar"`` backend
+========================  ==============================  =============================
+tuple store (relations)   :class:`repro.db.relation.Relation`
+                                                          :class:`repro.db.columnar.ColumnarRelation`
+frame (operator algebra)  :class:`repro.joins.frame.Frame`
+                                                          :class:`repro.joins.vectorized.ColumnarFrame`
+========================  ==============================  =============================
+
+The backend is selected with a ``backend=`` switch at the boundaries —
+:class:`repro.db.database.Database`, the workload generators in
+:mod:`repro.workloads.databases`, and
+:func:`repro.joins.semijoin.atom_frames` — after which every join-stack
+algorithm (hash joins, full reducers, Yannakakis, Generic Join) runs
+unchanged: algorithms only ever call the methods declared here.
+
+The classes below are *virtual* ABCs: implementations are registered
+rather than subclassed, so each backend keeps its own storage layout
+(``__slots__``-free sets vs NumPy arrays) while ``isinstance`` checks
+against the interface still work.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+
+BACKENDS = ("python", "columnar")
+
+
+def check_backend(backend: str) -> str:
+    """Validate a backend name (single source of truth for all layers)."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+class TupleStore(ABC):
+    """What a relation backend must provide.
+
+    Identity:  ``name``, ``arity``.
+    Mutation:  ``add(row)``, ``add_all(rows)``, ``discard(row)``,
+               ``retain(predicate) -> int``.
+    Access:    ``__len__``, ``__iter__`` (value tuples),
+               ``__contains__``, ``rows() -> frozenset``,
+               ``is_empty()``, ``active_domain()``.
+    Operators: ``index(columns)`` / ``lookup(columns, key)`` (hash
+               index as dict-of-lists over value tuples),
+               ``distinct_values(column)``, ``project(columns)``,
+               ``select_eq(column, value)``, ``copy()``.
+    """
+
+
+class FrameAlgebra(ABC):
+    """What a frame backend must provide.
+
+    Identity:  ``variables`` (distinct, ordered), ``rows`` (set of
+               value tuples — attribute or cached property).
+    Shape:     ``__len__``, ``__iter__``, ``__contains__``,
+               ``is_empty()``, ``positions(variables)``,
+               ``key_of(row, positions)``.
+    Algebra:   ``project``, ``rename``, ``select_in``, ``semijoin``,
+               ``join``, ``reorder``, ``to_tuples``.
+    Factories: ``unit_like()``, ``empty_like(variables)`` — identity /
+               absorber frames of the *same* backend, so generic
+               algorithm code never hard-codes a frame class.
+    """
+
+
+def register_backends() -> None:
+    """Register both backends' classes against the virtual ABCs."""
+    from repro.db.columnar import ColumnarRelation
+    from repro.db.relation import Relation
+    from repro.joins.frame import Frame
+    from repro.joins.vectorized import ColumnarFrame
+
+    TupleStore.register(Relation)
+    TupleStore.register(ColumnarRelation)
+    FrameAlgebra.register(Frame)
+    FrameAlgebra.register(ColumnarFrame)

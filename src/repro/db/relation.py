@@ -49,8 +49,41 @@ class Relation:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
+    def _index_insert(self, tup: Row) -> None:
+        """Reflect one inserted tuple in every cached index."""
+        for cols, idx in self._indexes.items():
+            key = tuple(tup[c] for c in cols)
+            idx.setdefault(key, []).append(tup)
+
+    # Buckets are plain lists (the public ``index()`` contract), so a
+    # removal scans its bucket.  Past this length the scan is worse
+    # than dropping the one index and rebuilding it lazily on next use.
+    _REMOVE_SCAN_LIMIT = 128
+
+    def _index_remove(self, tup: Row) -> None:
+        """Reflect one removed tuple in every cached index."""
+        oversized = []
+        for cols, idx in self._indexes.items():
+            key = tuple(tup[c] for c in cols)
+            bucket = idx.get(key)
+            if bucket is None:
+                continue
+            if len(bucket) > self._REMOVE_SCAN_LIMIT:
+                oversized.append(cols)
+                continue
+            bucket.remove(tup)
+            if not bucket:
+                del idx[key]
+        for cols in oversized:
+            del self._indexes[cols]
+
     def add(self, row: Sequence[Value]) -> None:
-        """Insert one tuple; duplicates are silently absorbed."""
+        """Insert one tuple; duplicates are silently absorbed.
+
+        Cached indexes are maintained incrementally (O(#indexes) per
+        insert) instead of being invalidated wholesale — the difference
+        between O(1) and O(m) per update for dynamic workloads.
+        """
         tup = tuple(row)
         if len(tup) != self.arity:
             raise ValueError(
@@ -59,11 +92,10 @@ class Relation:
             )
         if tup not in self._rows:
             self._rows.add(tup)
-            self._indexes.clear()
+            self._index_insert(tup)
 
     def add_all(self, rows: Iterable[Sequence[Value]]) -> None:
-        """Insert many tuples at once (single index invalidation)."""
-        before = len(self._rows)
+        """Insert many tuples at once (indexes maintained incrementally)."""
         for row in rows:
             tup = tuple(row)
             if len(tup) != self.arity:
@@ -71,16 +103,16 @@ class Relation:
                     f"relation {self.name} has arity {self.arity}, "
                     f"got tuple of length {len(tup)}"
                 )
-            self._rows.add(tup)
-        if len(self._rows) != before:
-            self._indexes.clear()
+            if tup not in self._rows:
+                self._rows.add(tup)
+                self._index_insert(tup)
 
     def discard(self, row: Sequence[Value]) -> None:
-        """Remove a tuple if present."""
+        """Remove a tuple if present (indexes maintained incrementally)."""
         tup = tuple(row)
         if tup in self._rows:
             self._rows.discard(tup)
-            self._indexes.clear()
+            self._index_remove(tup)
 
     def retain(self, predicate) -> int:
         """Keep only tuples satisfying ``predicate``; return removed count.

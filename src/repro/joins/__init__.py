@@ -1,6 +1,8 @@
 """Join algorithms: the paper's upper bounds.
 
 - :mod:`repro.joins.frame` — the internal (variables, rows) table type;
+- :mod:`repro.joins.vectorized` — the columnar (NumPy) frame backend
+  implementing the same algebra over dictionary-encoded code columns;
 - :mod:`repro.joins.hashjoin` — binary hash joins and left-deep plans;
 - :mod:`repro.joins.semijoin` — semijoins and full reducers;
 - :mod:`repro.joins.yannakakis` — Theorem 3.1 (Boolean acyclic in
@@ -25,12 +27,13 @@ from repro.joins.loomis_whitney import (
     loomis_whitney_boolean,
     loomis_whitney_join,
 )
-from repro.joins.semijoin import full_reducer_pass, semijoin
+from repro.joins.semijoin import atom_frames, full_reducer_pass, semijoin
 from repro.joins.triangle import (
     triangle_boolean_ayz,
     triangle_boolean_naive,
     triangle_join_naive,
 )
+from repro.joins.vectorized import ColumnarFrame
 from repro.joins.yannakakis import (
     yannakakis_boolean,
     yannakakis_full,
@@ -38,7 +41,9 @@ from repro.joins.yannakakis import (
 )
 
 __all__ = [
+    "ColumnarFrame",
     "Frame",
+    "atom_frames",
     "count_triangles",
     "cycle_boolean_generic",
     "cycle_boolean_meet_in_middle",

@@ -43,6 +43,7 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.jointree import JoinTree
 from repro.joins.frame import Frame
 from repro.joins.semijoin import atom_frames, full_reducer_pass
+from repro.joins.vectorized import empty_frame_like, unit_frame_like
 from repro.query.cq import ConjunctiveQuery
 
 
@@ -64,8 +65,8 @@ class ReducedJoinQuery:
     def answer_frame(self) -> Frame:
         """Materialize the full answer set (test helper, output-sized)."""
         if self.is_empty:
-            return Frame.empty(self.head)
-        result = Frame.unit()
+            return empty_frame_like(self.frames.values(), self.head)
+        result = unit_frame_like(self.frames.values())
         order: List[int] = []
         for node in self.tree.bottom_up():
             order.append(node)
@@ -103,7 +104,7 @@ def free_connex_reduce(
         dict(enumerate(atom_frames(query, db))), body_tree
     )
     if any(frame.is_empty() for frame in reduced.values()):
-        placeholder = Frame.empty(head)
+        placeholder = empty_frame_like(reduced.values(), head)
         return ReducedJoinQuery(
             head=head,
             frames={0: placeholder},

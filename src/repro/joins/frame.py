@@ -89,6 +89,14 @@ class Frame:
         """A frame with no rows — join absorber."""
         return cls(variables, [])
 
+    def unit_like(self) -> "Frame":
+        """A unit frame of the same backend (common frame interface)."""
+        return Frame.unit()
+
+    def empty_like(self, variables: Sequence[str] = ()) -> "Frame":
+        """An empty frame of the same backend (common frame interface)."""
+        return Frame.empty(variables)
+
     # ------------------------------------------------------------------
     # basics
     # ------------------------------------------------------------------
@@ -160,13 +168,19 @@ class Frame:
         )
         out_vars = self.variables + other_only
         if not shared:
+            if not self.rows:
+                return Frame(out_vars, [])
+            # Hoisted: building the distinct right-side extensions once
+            # keeps the cross product O(|L|·|extras|) instead of
+            # re-evaluating the set comprehension per left row.
+            extras = {
+                tuple(r[p] for p in other.positions(other_only))
+                for r in other.rows
+            }
             rows = [
                 left + right_extra
                 for left in self.rows
-                for right_extra in {
-                    tuple(r[p] for p in other.positions(other_only))
-                    for r in other.rows
-                }
+                for right_extra in extras
             ]
             return Frame(out_vars, rows)
         # Build on the smaller side.

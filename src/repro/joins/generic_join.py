@@ -18,6 +18,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.db.columnar import ColumnarRelation, atom_codes
 from repro.db.database import Database
 from repro.query.cq import ConjunctiveQuery
 
@@ -80,6 +83,68 @@ class _AtomIndex:
         return self.levels[depth].get(key, set())
 
 
+class _ColumnarAtomIndex:
+    """The prefix trie of :class:`_AtomIndex`, built from sorted arrays.
+
+    Instead of inserting every row into per-depth dictionaries, lexsort
+    the atom's code matrix once; then, at each depth ``d``, the distinct
+    ``(d+1)``-prefixes and their group boundaries fall out of a single
+    vectorized compare of adjacent sorted rows.  Python-level work drops
+    from O(rows × depth) dict inserts to O(distinct prefixes), which is
+    what makes trie construction cheap on dense AGM-tight instances.
+
+    The resulting ``levels`` structure (and :meth:`candidates`) is
+    identical to the Python version's, so the Generic Join recursion is
+    byte-for-byte the same for both backends.
+    """
+
+    candidates = _AtomIndex.candidates
+
+    def __init__(
+        self,
+        relation: ColumnarRelation,
+        atom_variables: Sequence[str],
+        global_order: Sequence[str],
+    ) -> None:
+        distinct, first_pos, codes = atom_codes(relation, atom_variables)
+        rank = {v: i for i, v in enumerate(global_order)}
+        self.ordered_vars: List[str] = sorted(distinct, key=rank.get)
+        k = len(self.ordered_vars)
+        self.levels: List[Dict[Tuple, Set[object]]] = [{} for _ in range(k)]
+        if k == 0 or not len(codes):
+            return
+        sub = codes[:, [first_pos[v] for v in self.ordered_vars]]
+        order = np.lexsort(tuple(sub[:, j] for j in reversed(range(k))))
+        sub = sub[order]
+        # first_diff[i]: first column where row i differs from row i-1
+        # (-1 for row 0).  Row i starts a new (d+1)-prefix group iff
+        # first_diff[i] <= d.
+        if len(sub) > 1:
+            neq = sub[1:] != sub[:-1]
+            any_neq = neq.any(axis=1)
+            first_diff = np.where(any_neq, neq.argmax(axis=1), k)
+            first_diff = np.concatenate(([-1], first_diff))
+        else:
+            first_diff = np.asarray([-1])
+        decode = relation.dictionary.decode
+        for depth in range(k):
+            new_prefix = np.flatnonzero(first_diff <= depth)
+            prefix_rows = sub[new_prefix]
+            values = [decode(int(c)) for c in prefix_rows[:, depth]]
+            # Within the distinct (depth+1)-prefixes, a new key (first
+            # ``depth`` columns) starts where the difference occurred
+            # strictly before column ``depth``.
+            group_start = np.flatnonzero(first_diff[new_prefix] < depth)
+            bounds = list(group_start) + [len(new_prefix)]
+            level = self.levels[depth]
+            for g in range(len(group_start)):
+                lo, hi = bounds[g], bounds[g + 1]
+                key = tuple(
+                    decode(int(c)) for c in prefix_rows[lo, :depth]
+                )
+                level[key] = set(values[lo:hi])
+
+
 def _choose_order(
     query: ConjunctiveQuery, order: Optional[Sequence[str]]
 ) -> List[str]:
@@ -127,9 +192,20 @@ def generic_join(
     :func:`generic_join_boolean`.
     """
     query.validate_database(db)
+    # Arity-0 atoms bind no variables, so the recursion below never
+    # consults them; an empty one nevertheless falsifies the query.
+    if any(
+        not atom.scope and db[atom.relation].is_empty()
+        for atom in query.atoms
+    ):
+        return set()
     global_order = _choose_order(query, order)
     indexes = [
-        _AtomIndex(db[a.relation], a.variables, global_order)
+        (
+            _ColumnarAtomIndex(db[a.relation], a.variables, global_order)
+            if isinstance(db[a.relation], ColumnarRelation)
+            else _AtomIndex(db[a.relation], a.variables, global_order)
+        )
         for a in query.atoms
     ]
     head = tuple(query.head)

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.db.database import Database
 from repro.joins.frame import Frame
 from repro.joins.semijoin import atom_frames
+from repro.joins.vectorized import unit_frame_like
 from repro.query.cq import ConjunctiveQuery
 
 
@@ -27,6 +28,7 @@ def left_deep_plan_join(
     query: ConjunctiveQuery,
     db: Database,
     order: Optional[Sequence[int]] = None,
+    backend: Optional[str] = None,
 ) -> Frame:
     """Evaluate a join query by a left-deep sequence of binary joins.
 
@@ -34,16 +36,17 @@ def left_deep_plan_join(
     (the textbook greedy heuristic).  Returns the full join over all
     body variables projected onto the head.  Intermediates are
     materialized — that is the point: this evaluator exhibits the
-    non-worst-case-optimal behaviour.
+    non-worst-case-optimal behaviour.  ``backend`` forces the frame
+    backend; by default each atom frame matches its stored relation.
     """
-    frames = atom_frames(query, db)
+    frames = atom_frames(query, db, backend=backend)
     if order is None:
         order = sorted(range(len(frames)), key=lambda i: len(frames[i]))
     else:
         order = list(order)
         if sorted(order) != list(range(len(frames))):
             raise ValueError("order must be a permutation of atom indices")
-    result = Frame.unit()
+    result = unit_frame_like(frames)
     for index in order:
         result = result.join(frames[index])
     head = tuple(query.head)
@@ -54,17 +57,18 @@ def plan_intermediate_sizes(
     query: ConjunctiveQuery,
     db: Database,
     order: Optional[Sequence[int]] = None,
+    backend: Optional[str] = None,
 ) -> List[int]:
     """Sizes of every intermediate a left-deep plan materializes.
 
     The instrumentation used by the benchmark that demonstrates the
     Ω(m^2) intermediate blow-up on AGM-tight triangle instances.
     """
-    frames = atom_frames(query, db)
+    frames = atom_frames(query, db, backend=backend)
     if order is None:
         order = sorted(range(len(frames)), key=lambda i: len(frames[i]))
     sizes: List[int] = []
-    result = Frame.unit()
+    result = unit_frame_like(frames)
     for index in order:
         result = result.join(frames[index])
         sizes.append(len(result))

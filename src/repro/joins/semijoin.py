@@ -9,11 +9,17 @@ linear-time upper bounds of Section 3.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.db.columnar import Dictionary
 from repro.db.database import Database
 from repro.hypergraph.jointree import JoinTree
 from repro.joins.frame import Frame
+from repro.joins.vectorized import (
+    ColumnarFrame,
+    check_backend,
+    frame_for_atom,
+)
 from repro.query.cq import ConjunctiveQuery
 
 
@@ -22,13 +28,37 @@ def semijoin(target: Frame, source: Frame) -> Frame:
     return target.semijoin(source)
 
 
-def atom_frames(query: ConjunctiveQuery, db: Database) -> List[Frame]:
-    """One frame per atom, with repeated-variable selections applied."""
+def atom_frames(
+    query: ConjunctiveQuery,
+    db: Database,
+    backend: Optional[str] = None,
+) -> List[Frame]:
+    """One frame per atom, with repeated-variable selections applied.
+
+    Each frame uses the backend of its stored relation (so a columnar
+    database flows into the vectorized join stack automatically).  Pass
+    ``backend=`` to force one backend, converting relations that are
+    stored the other way.
+    """
     query.validate_database(db)
-    return [
-        Frame.from_atom(db[atom.relation], atom.variables)
-        for atom in query.atoms
-    ]
+    if backend is None:
+        return [
+            frame_for_atom(db[atom.relation], atom.variables)
+            for atom in query.atoms
+        ]
+    check_backend(backend)
+    shared_dictionary = Dictionary()
+    frames = []
+    for atom in query.atoms:
+        frame = frame_for_atom(db[atom.relation], atom.variables)
+        if backend == "columnar" and isinstance(frame, Frame):
+            frame = ColumnarFrame.from_rows(
+                frame.variables, frame.rows, shared_dictionary
+            )
+        elif backend == "python" and isinstance(frame, ColumnarFrame):
+            frame = frame.to_frame()
+        frames.append(frame)
+    return frames
 
 
 def full_reducer_pass(

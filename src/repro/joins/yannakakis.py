@@ -23,6 +23,7 @@ from repro.hypergraph.gyo import join_tree
 from repro.hypergraph.jointree import JoinTree
 from repro.joins.frame import Frame
 from repro.joins.semijoin import full_reducer_pass, atom_frames
+from repro.joins.vectorized import empty_frame_like, unit_frame_like
 from repro.query.cq import ConjunctiveQuery
 
 
@@ -36,6 +37,7 @@ def yannakakis_boolean(
     query: ConjunctiveQuery,
     db: Database,
     tree: Optional[JoinTree] = None,
+    backend: Optional[str] = None,
 ) -> bool:
     """Decide a Boolean acyclic query in linear time (Theorem 3.1).
 
@@ -43,7 +45,7 @@ def yannakakis_boolean(
     body is what is decided).  Raises on cyclic queries.
     """
     tree = _tree_for(query, tree)
-    frames = dict(enumerate(atom_frames(query, db)))
+    frames = dict(enumerate(atom_frames(query, db, backend=backend)))
     if any(frame.is_empty() for frame in frames.values()):
         return False
     reduced = full_reducer_pass(frames, tree)
@@ -54,12 +56,16 @@ def yannakakis_full(
     query: ConjunctiveQuery,
     db: Database,
     tree: Optional[JoinTree] = None,
+    backend: Optional[str] = None,
 ) -> Frame:
     """Materialize an acyclic *join* query in O(m + output).
 
     After full reduction every partial join along the tree is supported
     by at least one output tuple, so intermediate results never exceed
     the final output — the classical output-sensitivity argument.
+    ``backend`` forces the frame backend; by default each atom frame
+    matches its stored relation, so a columnar database is evaluated by
+    the vectorized reducer/join stack end to end.
     """
     if not query.is_join_query():
         raise ValueError(
@@ -67,17 +73,16 @@ def yannakakis_full(
             "yannakakis_project for queries with projections"
         )
     tree = _tree_for(query, tree)
-    reduced = full_reducer_pass(
-        dict(enumerate(atom_frames(query, db))), tree
-    )
+    frames = dict(enumerate(atom_frames(query, db, backend=backend)))
+    reduced = full_reducer_pass(frames, tree)
     if any(frame.is_empty() for frame in reduced.values()):
-        return Frame.empty(tuple(query.head))
+        return empty_frame_like(reduced.values(), tuple(query.head))
     accumulated: Dict[int, Frame] = dict(reduced)
     for node in tree.bottom_up():
         parent = tree.parent.get(node)
         if parent is not None:
             accumulated[parent] = accumulated[parent].join(accumulated[node])
-    result = Frame.unit()
+    result = unit_frame_like(accumulated.values())
     for root in tree.roots:
         result = result.join(accumulated[root])
     return result.reorder(tuple(query.head))
@@ -87,6 +92,7 @@ def yannakakis_project(
     query: ConjunctiveQuery,
     db: Database,
     tree: Optional[JoinTree] = None,
+    backend: Optional[str] = None,
 ) -> Frame:
     """Evaluate an acyclic query with projections.
 
@@ -99,11 +105,11 @@ def yannakakis_project(
     """
     tree = _tree_for(query, tree)
     reduced = full_reducer_pass(
-        dict(enumerate(atom_frames(query, db))), tree
+        dict(enumerate(atom_frames(query, db, backend=backend))), tree
     )
     head = tuple(query.head)
     if any(frame.is_empty() for frame in reduced.values()):
-        return Frame.empty(head)
+        return empty_frame_like(reduced.values(), head)
     free: Set[str] = set(query.free_variables)
     partial: Dict[int, Frame] = {}
     for node in tree.bottom_up():
@@ -116,7 +122,7 @@ def yannakakis_project(
             if v in free or v in tree.separator(node)
         ]
         partial[node] = frame.project(keep)
-    result = Frame.unit()
+    result = unit_frame_like(partial.values())
     for root in tree.roots:
         result = result.join(partial[root])
     return result.project(head).reorder(head)

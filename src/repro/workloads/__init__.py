@@ -10,6 +10,7 @@ dominating-set encodings).
 
 from repro.workloads.databases import (
     agm_tight_triangle_db,
+    functional_path_db,
     random_database,
     random_star_db,
     random_triangle_db,
@@ -33,6 +34,7 @@ from repro.workloads.matrices import random_sparse_boolean_matrix
 __all__ = [
     "agm_tight_triangle_db",
     "dominating_set_instance",
+    "functional_path_db",
     "plant_hyperclique",
     "planted_clique_graph",
     "random_database",

@@ -1,14 +1,24 @@
-"""Database generators for the catalog queries."""
+"""Database generators for the catalog queries.
+
+Every generator takes a ``backend=`` switch (``"python"`` default,
+``"columnar"``) and builds rows in bulk first, so the columnar backend
+ingests each relation with a single encode pass and one vectorized
+dedupe instead of per-tuple inserts.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.db.database import Database
-from repro.db.relation import Relation
 from repro.query.cq import ConjunctiveQuery
 from repro.util.rng import SeedLike, make_rng
+
+
+def _bulk_relation(db: Database, name: str, arity: int, rows) -> None:
+    """Register one relation, built through the database's backend."""
+    db.add_relation(db.new_relation(name, arity, rows))
 
 
 def random_database(
@@ -16,6 +26,7 @@ def random_database(
     tuples_per_relation: int,
     domain_size: int,
     seed: SeedLike = None,
+    backend: str = "python",
 ) -> Database:
     """IID-uniform tuples for every relation symbol of the query.
 
@@ -23,32 +34,36 @@ def random_database(
     slightly smaller than requested on small domains.
     """
     rng = make_rng(seed)
-    db = Database()
+    db = Database(backend=backend)
     for symbol in query.relation_symbols:
         arity = next(
             a.arity for a in query.atoms if a.relation == symbol
         )
-        rel = Relation(symbol, arity)
-        for _ in range(tuples_per_relation):
-            rel.add(
-                tuple(rng.randrange(domain_size) for _ in range(arity))
-            )
-        db.add_relation(rel)
+        rows = [
+            tuple(rng.randrange(domain_size) for _ in range(arity))
+            for _ in range(tuples_per_relation)
+        ]
+        _bulk_relation(db, symbol, arity, rows)
     return db
 
 
 def random_triangle_db(
-    m_per_relation: int, domain_size: int, seed: SeedLike = None
+    m_per_relation: int,
+    domain_size: int,
+    seed: SeedLike = None,
+    backend: str = "python",
 ) -> Database:
     """Random binary relations R1, R2, R3 for the triangle query."""
     from repro.query.catalog import triangle_query
 
     return random_database(
-        triangle_query(), m_per_relation, domain_size, seed
+        triangle_query(), m_per_relation, domain_size, seed, backend=backend
     )
 
 
-def agm_tight_triangle_db(m_per_relation: int) -> Database:
+def agm_tight_triangle_db(
+    m_per_relation: int, backend: str = "python"
+) -> Database:
     """The AGM-tight triangle instance with Θ(m^{3/2}) answers.
 
     Take disjoint value groups A, B, C of size √m and set
@@ -61,15 +76,15 @@ def agm_tight_triangle_db(m_per_relation: int) -> Database:
     a_values = [("a", i) for i in range(side)]
     b_values = [("b", i) for i in range(side)]
     c_values = [("c", i) for i in range(side)]
-    db = Database()
-    db.add_relation(
-        Relation("R1", 2, ((a, b) for a in a_values for b in b_values))
+    db = Database(backend=backend)
+    _bulk_relation(
+        db, "R1", 2, [(a, b) for a in a_values for b in b_values]
     )
-    db.add_relation(
-        Relation("R2", 2, ((b, c) for b in b_values for c in c_values))
+    _bulk_relation(
+        db, "R2", 2, [(b, c) for b in b_values for c in c_values]
     )
-    db.add_relation(
-        Relation("R3", 2, ((c, a) for c in c_values for a in a_values))
+    _bulk_relation(
+        db, "R3", 2, [(c, a) for c in c_values for a in a_values]
     )
     return db
 
@@ -80,25 +95,25 @@ def random_star_db(
     domain_size: int,
     seed: SeedLike = None,
     self_join_free: bool = False,
+    backend: str = "python",
 ) -> Database:
     """A database for q*_k (single R) or q̄*_k (R1..Rk)."""
     rng = make_rng(seed)
-    db = Database()
+    db = Database(backend=backend)
     names = (
         [f"R{i + 1}" for i in range(k)] if self_join_free else ["R"]
     )
     for name in names:
-        rel = Relation(name, 2)
-        for _ in range(m):
-            rel.add(
-                (rng.randrange(domain_size), rng.randrange(domain_size))
-            )
-        db.add_relation(rel)
+        rows = [
+            (rng.randrange(domain_size), rng.randrange(domain_size))
+            for _ in range(m)
+        ]
+        _bulk_relation(db, name, 2, rows)
     return db
 
 
 def functional_path_db(
-    length: int, m: int, seed: SeedLike = None
+    length: int, m: int, seed: SeedLike = None, backend: str = "python"
 ) -> Database:
     """A path-query database where each relation is near-functional.
 
@@ -107,10 +122,8 @@ def functional_path_db(
     result itself exploding.
     """
     rng = make_rng(seed)
-    db = Database()
+    db = Database(backend=backend)
     for i in range(1, length + 1):
-        rel = Relation(f"R{i}", 2)
-        for j in range(m):
-            rel.add((j, (j + rng.randrange(3)) % m))
-        db.add_relation(rel)
+        rows = [(j, (j + rng.randrange(3)) % m) for j in range(m)]
+        _bulk_relation(db, f"R{i}", 2, rows)
     return db

@@ -1,0 +1,403 @@
+"""Backend parity: the columnar (NumPy) backend must agree with the
+Python backend — and with the brute-force oracle — everywhere.
+
+Covers the tuple-store surface (`ColumnarRelation` vs `Relation`), the
+frame algebra (`ColumnarFrame` vs `Frame`), and the full join stack
+(binary plans, Generic Join, Yannakakis) on random queries/databases,
+including empty relations, arity-0/1 relations and repeated-variable
+atoms.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    ColumnarRelation,
+    Database,
+    Dictionary,
+    FrameAlgebra,
+    Relation,
+    TupleStore,
+)
+from repro.db.columnar import common_keys, match_pairs, pack_rows, unique_rows
+from repro.hypergraph.gyo import join_tree
+from repro.joins import (
+    ColumnarFrame,
+    Frame,
+    generic_join,
+    left_deep_plan_join,
+    yannakakis_boolean,
+    yannakakis_full,
+    yannakakis_project,
+)
+from repro.joins.semijoin import atom_frames
+from repro.query.atoms import Atom
+from repro.query.cq import ConjunctiveQuery
+
+from tests.strategies import conjunctive_queries, queries_with_databases
+
+BACKENDS = ("python", "columnar")
+
+
+def both_backends(db):
+    """The same database in both backends (python first)."""
+    return db.to_backend("python"), db.to_backend("columnar")
+
+
+# ----------------------------------------------------------------------
+# vectorized primitives
+# ----------------------------------------------------------------------
+rows_matrices = st.integers(min_value=0, max_value=40).flatmap(
+    lambda n: st.integers(min_value=0, max_value=4).flatmap(
+        lambda k: st.lists(
+            st.tuples(*([st.integers(0, 9)] * k)),
+            min_size=n,
+            max_size=n,
+        ).map(lambda rows: np.asarray(rows, dtype=np.int64).reshape(n, k))
+    )
+)
+
+
+@given(rows_matrices)
+def test_unique_rows_matches_set_semantics(codes):
+    got = unique_rows(codes, 10)
+    expected = {tuple(r) for r in codes.tolist()}
+    assert {tuple(r) for r in got.tolist()} == expected
+    assert len(got) == len(expected)
+
+
+@given(rows_matrices, rows_matrices)
+def test_common_keys_equal_iff_rows_equal(a, b):
+    if a.shape[1] != b.shape[1]:
+        b = b[:, : a.shape[1]] if b.shape[1] > a.shape[1] else b
+        if a.shape[1] != b.shape[1]:
+            a = a[:, : b.shape[1]]
+    ka, kb = common_keys(a, b, 10)
+    for i in range(min(len(a), 8)):
+        for j in range(min(len(b), 8)):
+            assert (ka[i] == kb[j]) == (
+                tuple(a[i].tolist()) == tuple(b[j].tolist())
+            )
+
+
+def test_pack_rows_overflow_falls_back():
+    # 5 columns × 2^13 codes = 65 bits > 63: must refuse to pack.
+    wide = np.zeros((3, 5), dtype=np.int64)
+    assert pack_rows(wide, 1 << 13) is None
+    # The generic path still produces correct joint keys.
+    ka, kb = common_keys(wide, wide[:2], 1 << 13)
+    assert ka[0] == kb[0]
+
+
+def test_match_pairs_enumerates_all_matches():
+    left = np.asarray([3, 1, 3, 7], dtype=np.int64)
+    right = np.asarray([3, 3, 9, 1], dtype=np.int64)
+    li, ri = match_pairs(left, right)
+    pairs = set(zip(li.tolist(), ri.tolist()))
+    expected = {
+        (i, j)
+        for i in range(len(left))
+        for j in range(len(right))
+        if left[i] == right[j]
+    }
+    assert pairs == expected
+
+
+# ----------------------------------------------------------------------
+# tuple-store parity
+# ----------------------------------------------------------------------
+relation_rows = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=30
+)
+
+
+@given(relation_rows, relation_rows)
+def test_columnar_relation_matches_python_relation(rows, more_rows):
+    py = Relation("R", 2, rows)
+    col = ColumnarRelation("R", 2, rows)
+    assert col == py and py == col
+    assert len(col) == len(py)
+    assert col.rows() == py.rows()
+    assert col.project((1, 0)).rows() == py.project((1, 0)).rows()
+    assert col.project(()).rows() == py.project(()).rows()
+    assert col.select_eq(0, 3).rows() == py.select_eq(0, 3).rows()
+    assert col.distinct_values(1) == py.distinct_values(1)
+    assert col.active_domain() == py.active_domain()
+    assert col.index((0,)).keys() == py.index((0,)).keys()
+    for key, bucket in col.index((0, 1)).items():
+        assert sorted(bucket) == sorted(py.index((0, 1))[key])
+    # interleaved single-tuple mutation
+    for i, row in enumerate(more_rows):
+        if i % 3 == 2:
+            py.discard(row)
+            col.discard(row)
+        else:
+            py.add(row)
+            col.add(row)
+        assert col == py
+    removed_py = py.retain(lambda t: t[0] % 2 == 0)
+    removed_col = col.retain(lambda t: t[0] % 2 == 0)
+    assert removed_py == removed_col
+    assert col == py
+    assert col.copy() == py.copy()
+
+
+def test_columnar_relation_edge_arities():
+    zero = ColumnarRelation("Z", 0)
+    assert zero.is_empty() and len(zero) == 0
+    zero.add(())
+    assert len(zero) == 1 and () in zero
+    zero.add(())
+    assert len(zero) == 1
+    zero.discard(())
+    assert zero.is_empty()
+
+    one = ColumnarRelation("U", 1, [("x",), ("y",), ("x",)])
+    assert len(one) == 2
+    assert one.distinct_values(0) == {"x", "y"}
+    with pytest.raises(ValueError):
+        one.add(("a", "b"))
+    with pytest.raises(IndexError):
+        one.index((1,))
+
+
+def test_relation_indexes_maintained_incrementally():
+    rel = Relation("R", 2, [(1, 2), (3, 4)])
+    idx = rel.index((0,))
+    rel.add((5, 6))
+    # same cached dict object, updated in place — not rebuilt
+    assert rel.index((0,)) is idx
+    assert idx[(5,)] == [(5, 6)]
+    rel.discard((3, 4))
+    assert rel.index((0,)) is idx
+    assert (3,) not in idx
+    rel.add_all([(3, 4), (5, 7)])
+    assert rel.index((0,)) is idx
+    assert sorted(idx[(5,)]) == [(5, 6), (5, 7)]
+    # and the maintained index equals a fresh rebuild
+    fresh = Relation("R", 2, rel.rows()).index((0,))
+    assert {k: sorted(v) for k, v in idx.items()} == {
+        k: sorted(v) for k, v in fresh.items()
+    }
+
+
+def test_backend_interface_registration():
+    assert isinstance(Relation("R", 1), TupleStore)
+    assert isinstance(ColumnarRelation("R", 1), TupleStore)
+    assert isinstance(Frame(("x",)), FrameAlgebra)
+    assert isinstance(ColumnarFrame.empty(("x",)), FrameAlgebra)
+
+
+def test_database_backend_switch():
+    db = Database.from_dict({"R": [(1, 2)], "S": [(2, 3)]}, backend="columnar")
+    assert db.backend == "columnar"
+    assert isinstance(db["R"], ColumnarRelation)
+    # relations of one database share the dictionary
+    assert db["R"].dictionary is db["S"].dictionary
+    assert isinstance(db.ensure_relation("T", 3), ColumnarRelation)
+    assert isinstance(db.copy()["R"], ColumnarRelation)
+    back = db.to_backend("python")
+    assert isinstance(back["R"], Relation)
+    assert back["R"].rows() == db["R"].rows()
+    with pytest.raises(ValueError):
+        Database(backend="gpu")
+
+
+# ----------------------------------------------------------------------
+# frame-algebra parity
+# ----------------------------------------------------------------------
+frame_rows = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 4)),
+    max_size=25,
+)
+
+
+@given(frame_rows, frame_rows)
+def test_frame_algebra_parity(left_rows, right_rows):
+    py_l = Frame(("x", "y", "z"), left_rows)
+    py_r = Frame(("y", "z", "w"), right_rows)
+    shared = Dictionary()
+    col_l = ColumnarFrame.from_rows(("x", "y", "z"), left_rows, shared)
+    col_r = ColumnarFrame.from_rows(("y", "z", "w"), right_rows, shared)
+
+    assert col_l.to_tuples() == py_l.to_tuples()
+    assert (
+        col_l.project(("z", "x")).to_tuples()
+        == py_l.project(("z", "x")).to_tuples()
+    )
+    assert col_l.project(()).to_tuples() == py_l.project(()).to_tuples()
+    assert (
+        col_l.join(col_r).to_tuples() == py_l.join(py_r).to_tuples()
+    )
+    assert (
+        col_l.semijoin(col_r).to_tuples()
+        == py_l.semijoin(py_r).to_tuples()
+    )
+    allowed = {(r[1], r[2]) for r in left_rows[::2]}
+    assert (
+        col_l.select_in(("y", "z"), allowed).to_tuples()
+        == py_l.select_in(("y", "z"), allowed).to_tuples()
+    )
+    assert (
+        col_l.rename({"x": "a"}).to_tuples(("a", "y", "z"))
+        == py_l.rename({"x": "a"}).to_tuples(("a", "y", "z"))
+    )
+    assert (
+        col_l.reorder(("z", "y", "x")).to_tuples()
+        == py_l.reorder(("z", "y", "x")).to_tuples()
+    )
+
+
+@given(frame_rows, frame_rows)
+def test_frame_cross_product_parity(left_rows, right_rows):
+    py_l = Frame(("x", "y", "z"), left_rows)
+    py_r = Frame(("u", "v", "w"), right_rows)
+    col_l = ColumnarFrame.from_rows(("x", "y", "z"), left_rows)
+    col_r = ColumnarFrame.from_rows(("u", "v", "w"), right_rows)
+    assert col_l.join(col_r).to_tuples() == py_l.join(py_r).to_tuples()
+    assert (
+        col_l.semijoin(col_r).to_tuples()
+        == py_l.semijoin(py_r).to_tuples()
+    )
+
+
+@given(frame_rows)
+def test_mixed_backend_frames_interoperate(rows):
+    """A columnar frame can join/semijoin a Python frame and vice versa."""
+    order = ("x", "y", "z", "w")
+    py_l = Frame(("x", "y", "z"), rows)
+    py_r = Frame(("y", "z", "w"), rows)
+    col_l = ColumnarFrame.from_rows(("x", "y", "z"), rows)
+    col_r = ColumnarFrame.from_rows(("y", "z", "w"), rows)
+    expected = py_l.join(py_r).to_tuples(order)
+    assert py_l.join(col_r).to_tuples(order) == expected
+    assert col_l.join(py_r).to_tuples(order) == expected
+    semi = py_l.semijoin(py_r).to_tuples()
+    assert py_l.semijoin(col_r).to_tuples() == semi
+    assert col_l.semijoin(py_r).to_tuples() == semi
+
+
+def test_columnar_frame_separate_dictionaries_coerce():
+    a = ColumnarFrame.from_rows(("x", "y"), [(1, 2), (3, 4)])
+    b = ColumnarFrame.from_rows(("y", "z"), [(2, 9), (4, 7), (5, 5)])
+    assert a.join(b).to_tuples() == {(1, 2, 9), (3, 4, 7)}
+    assert a.semijoin(b).to_tuples() == {(1, 2), (3, 4)}
+
+
+def test_columnar_frame_unit_and_empty():
+    unit = ColumnarFrame.unit()
+    assert len(unit) == 1 and () in unit
+    empty = ColumnarFrame.empty(("x",))
+    assert empty.is_empty()
+    some = ColumnarFrame.from_rows(("x",), [(1,)])
+    assert some.join(unit.unit_like()).to_tuples() == {(1,)}
+    assert some.join(some.empty_like(("x",))).to_tuples() == set()
+    assert some.semijoin(unit).to_tuples() == {(1,)}
+    assert some.semijoin(empty.empty_like(())).to_tuples() == set()
+
+
+def test_from_atom_repeated_variables():
+    rel = ColumnarRelation("R", 3, [(1, 1, 2), (1, 2, 2), (4, 4, 4)])
+    frame = ColumnarFrame.from_atom(rel, ("x", "x", "y"))
+    py = Frame.from_atom(
+        Relation("R", 3, [(1, 1, 2), (1, 2, 2), (4, 4, 4)]), ("x", "x", "y")
+    )
+    assert frame.variables == py.variables == ("x", "y")
+    assert frame.to_tuples() == py.to_tuples() == {(1, 2), (4, 4)}
+
+
+# ----------------------------------------------------------------------
+# join-stack parity on random queries and databases
+# ----------------------------------------------------------------------
+@settings(max_examples=40)
+@given(queries_with_databases(max_atoms=3, max_tuples=20))
+def test_join_stack_backend_parity(query_db):
+    query, db = query_db
+    expected = query.evaluate_brute_force(db)
+    db_py, db_col = both_backends(db)
+
+    assert generic_join(query, db_py) == expected
+    assert generic_join(query, db_col) == expected
+
+    assert left_deep_plan_join(query, db_py).to_tuples() == expected
+    assert left_deep_plan_join(query, db_col).to_tuples() == expected
+
+    try:
+        tree = join_tree(query.hypergraph())
+    except ValueError:
+        return  # cyclic — Yannakakis does not apply
+    assert yannakakis_boolean(query, db_py, tree) == bool(expected)
+    assert yannakakis_boolean(query, db_col, tree) == bool(expected)
+    assert (
+        yannakakis_project(query, db_py, tree).to_tuples() == expected
+    )
+    assert (
+        yannakakis_project(query, db_col, tree).to_tuples() == expected
+    )
+    full = query.as_join_query()
+    full_expected = full.evaluate_brute_force(db)
+    assert yannakakis_full(full, db_py, tree).to_tuples() == full_expected
+    result_col = yannakakis_full(full, db_col, tree)
+    assert isinstance(result_col, ColumnarFrame)
+    assert result_col.to_tuples() == full_expected
+
+
+@settings(max_examples=25)
+@given(conjunctive_queries(max_atoms=3, max_arity=2))
+def test_forced_backend_on_python_database(query):
+    """atom_frames(backend=...) converts frames regardless of storage."""
+    from tests.strategies import random_database_for
+
+    db = random_database_for(query, 12, 4, seed=11)
+    frames_py = atom_frames(query, db, backend="python")
+    frames_col = atom_frames(query, db, backend="columnar")
+    assert all(isinstance(f, Frame) for f in frames_py)
+    assert all(isinstance(f, ColumnarFrame) for f in frames_col)
+    for py, col in zip(frames_py, frames_col):
+        assert py.variables == col.variables
+        assert py.to_tuples() == col.to_tuples()
+    with pytest.raises(ValueError):
+        atom_frames(query, db, backend="gpu")
+
+
+def test_arity0_empty_relation_falsifies_query():
+    """Regression: generic_join used to ignore empty arity-0 atoms."""
+    query = ConjunctiveQuery((), (Atom("T", ()),))
+    for backend in BACKENDS:
+        db = Database(backend=backend)
+        db.add_relation(db.new_relation("T", 0))
+        assert query.evaluate_brute_force(db) == set()
+        assert generic_join(query, db) == set()
+        assert left_deep_plan_join(query, db).to_tuples() == set()
+        db["T"].add(())
+        assert generic_join(query, db) == {()}
+        assert left_deep_plan_join(query, db).to_tuples() == {()}
+
+
+def test_empty_relation_flows_through_columnar_stack():
+    query = ConjunctiveQuery(
+        ("x", "y", "z"),
+        (Atom("R", ("x", "y")), Atom("S", ("y", "z"))),
+    )
+    db = Database(backend="columnar")
+    db.add_relation(db.new_relation("R", 2))
+    db.add_relation(db.new_relation("S", 2, [(1, 2)]))
+    assert generic_join(query, db) == set()
+    assert left_deep_plan_join(query, db).to_tuples() == set()
+    assert yannakakis_full(query, db).to_tuples() == set()
+    assert not yannakakis_boolean(query, db)
+
+
+def test_self_join_columnar_parity():
+    query = ConjunctiveQuery(
+        ("x", "y", "z"),
+        (Atom("E", ("x", "y")), Atom("E", ("y", "z"))),
+    )
+    rows = [(1, 2), (2, 3), (3, 1), (2, 2)]
+    db_py = Database.from_dict({"E": rows})
+    db_col = Database.from_dict({"E": rows}, backend="columnar")
+    expected = query.evaluate_brute_force(db_py)
+    assert generic_join(query, db_col) == expected
+    assert left_deep_plan_join(query, db_col).to_tuples() == expected
