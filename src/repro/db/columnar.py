@@ -55,6 +55,26 @@ import numpy as np
 Value = object
 Row = Tuple[Value, ...]
 
+# ----------------------------------------------------------------------
+# decode instrumentation
+# ----------------------------------------------------------------------
+# Counts how many rows have been decoded back into Python value tuples
+# since the last reset.  The vectorized pipelines (counting, FAQ
+# aggregation, direct access, enumeration preprocessing) promise *zero*
+# per-row decodes on columnar inputs; tests assert that promise through
+# this hook rather than by auditing call sites.
+_DECODED_ROWS = 0
+
+
+def decoded_row_count() -> int:
+    """Rows decoded via :meth:`Dictionary.decode_rows` since last reset."""
+    return _DECODED_ROWS
+
+
+def reset_decoded_row_count() -> None:
+    global _DECODED_ROWS
+    _DECODED_ROWS = 0
+
 
 class Dictionary:
     """An append-only bijection ``value <-> dense int code``.
@@ -122,6 +142,8 @@ class Dictionary:
 
     def decode_rows(self, codes: np.ndarray) -> List[Row]:
         """Decode a code matrix back into a list of value tuples."""
+        global _DECODED_ROWS
+        _DECODED_ROWS += len(codes)
         values = self._values
         return [tuple(values[c] for c in row) for row in codes.tolist()]
 
@@ -236,6 +258,103 @@ def match_pairs(
     return left_index, right_index
 
 
+def group_rows(
+    codes: np.ndarray, cardinality: int
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Group equal rows of a code matrix.
+
+    Returns ``(representatives, group_ids, group_count)``: one
+    representative row per distinct key (in ascending key order), a
+    dense group id in ``[0, group_count)`` for every input row, and the
+    number of groups.  Width-0 matrices form a single group.  This is
+    the vectorized core of group-by-aggregate: callers pair the group
+    ids with :func:`group_reduce`.
+    """
+    packed = pack_rows(codes, cardinality)
+    if packed is not None:
+        _, first, inverse = np.unique(
+            packed, return_index=True, return_inverse=True
+        )
+    else:
+        _, first, inverse = np.unique(
+            codes, axis=0, return_index=True, return_inverse=True
+        )
+    inverse = inverse.reshape(-1).astype(np.int64, copy=False)
+    return codes[first], inverse, len(first)
+
+
+def group_reduce(
+    values: np.ndarray,
+    group_ids: np.ndarray,
+    group_count: int,
+    ufunc,
+) -> np.ndarray:
+    """Reduce ``values`` per dense group id with a binary ufunc.
+
+    Sorts by group id once, then reduces each contiguous segment with
+    ``ufunc.reduceat`` — ``np.add`` realizes counting, ``np.minimum`` /
+    ``np.maximum`` the tropical semirings, and ``np.frompyfunc`` lifts
+    an arbitrary Python fold over object arrays (the escape hatch for
+    semirings without a native dtype).  Every group id in
+    ``[0, group_count)`` must occur at least once (guaranteed when the
+    ids come from :func:`group_rows`).
+    """
+    if group_count == 0:
+        return values[:0]
+    order = np.argsort(group_ids, kind="stable")
+    sorted_values = values[order]
+    sorted_ids = group_ids[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_ids[1:] != sorted_ids[:-1]))
+    )
+    return ufunc.reduceat(sorted_values, starts)
+
+
+def block_slices(
+    sorted_codes: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Contiguous equal-row blocks of an already-sorted code matrix.
+
+    Returns ``(representatives, starts, ends)``: one representative
+    row per block plus the half-open ``[start, end)`` bounds.  Rows
+    equal under the matrix's columns must already be adjacent (sort by
+    those columns first); width-0 matrices form a single block.  The
+    direct-access and enumeration builders derive their per-separator
+    slice maps from this.
+    """
+    n = len(sorted_codes)
+    if not n:
+        empty = np.empty(0, dtype=np.int64)
+        return sorted_codes[:0], empty, empty
+    if sorted_codes.shape[1]:
+        change = np.any(sorted_codes[1:] != sorted_codes[:-1], axis=1)
+        starts = np.flatnonzero(np.concatenate(([True], change)))
+    else:
+        starts = np.zeros(1, dtype=np.int64)
+    ends = np.append(starts[1:], n)
+    return sorted_codes[starts], starts, ends
+
+
+def lookup_rows(
+    queries: np.ndarray, table: np.ndarray, cardinality: int
+) -> np.ndarray:
+    """For each query row, its index in ``table`` — or ``-1`` if absent.
+
+    ``table`` must hold distinct rows (e.g. the representatives from
+    :func:`group_rows`).  One joint key computation plus a binary
+    search per query row; no per-row Python.
+    """
+    if not len(table):
+        return np.full(len(queries), -1, dtype=np.int64)
+    query_keys, table_keys = common_keys(queries, table, cardinality)
+    order = np.argsort(table_keys, kind="stable")
+    sorted_keys = table_keys[order]
+    pos = np.searchsorted(sorted_keys, query_keys)
+    pos = np.minimum(pos, len(sorted_keys) - 1)
+    found = sorted_keys[pos] == query_keys
+    return np.where(found, order[pos], -1).astype(np.int64, copy=False)
+
+
 class ColumnarRelation:
     """A named, fixed-arity tuple set stored as NumPy code columns.
 
@@ -269,6 +388,7 @@ class ColumnarRelation:
         self._ops: Dict[Tuple[int, ...], bool] = {}
         self._tuple_cache: Optional[List[Row]] = None
         self._set_cache: Optional[FrozenSet[Row]] = None
+        self._coded_set_cache: Optional[FrozenSet[Tuple[int, ...]]] = None
         self._indexes: Dict[Tuple[int, ...], Dict[Row, List[Row]]] = {}
         if rows is not None:
             self.add_all(rows)
@@ -279,6 +399,7 @@ class ColumnarRelation:
     def _invalidate(self) -> None:
         self._tuple_cache = None
         self._set_cache = None
+        self._coded_set_cache = None
         self._indexes.clear()
 
     def _flush(self) -> None:
@@ -419,6 +540,19 @@ class ColumnarRelation:
     def rows(self) -> FrozenSet[Row]:
         """A frozen snapshot of the (decoded) tuple set."""
         return self._row_set()
+
+    def has_coded(self, coded: Sequence[int]) -> bool:
+        """Membership test on an already-encoded tuple — no value decode.
+
+        Weight stores and other code-level callers use this instead of
+        ``__contains__``, which would decode the whole relation just to
+        build a value set.
+        """
+        if self._coded_set_cache is None:
+            self._coded_set_cache = frozenset(
+                map(tuple, self.codes().tolist())
+            )
+        return tuple(coded) in self._coded_set_cache
 
     def is_empty(self) -> bool:
         return not len(self.codes())

@@ -16,6 +16,19 @@ with no disruptive trio — preprocessing is Õ(m) and each access costs
    binary search in the prefix sums and splitting the residual index
    across the children blocks mixed-radix style.
 
+**Columnar preprocessing.**  When the reduced frames are columnar
+(:class:`repro.joins.vectorized.ColumnarFrame` over one dictionary),
+step 3 is an array program: subtree counts are binary-search gathers of
+child block totals (:func:`repro.db.columnar.lookup_rows`) multiplied
+columnwise; the per-separator blocks come from one ``np.lexsort`` over
+(separator codes, order-preserving *value ranks* of the own columns —
+dictionary codes are first-seen, not sorted, so the own columns are
+remapped through a rank table before sorting); and the prefix sums are
+one ``np.cumsum``.  No row is decoded during preprocessing —
+``access(i)`` descends over codes via ``np.searchsorted`` and decodes
+only the single returned answer.  Subtree counts use int64 (exact
+below 2^63; the Python store keeps bigints).
+
 When no layered tree exists (a disruptive trio), the ``strict=False``
 fallback materializes and sorts the whole result — the superlinear
 preprocessing that Lemma 3.23 proves necessary.
@@ -26,6 +39,9 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.db.columnar import block_slices, lookup_rows
 from repro.db.database import Database
 from repro.direct_access.layered import (
     VIRTUAL_ROOT,
@@ -35,6 +51,7 @@ from repro.direct_access.layered import (
 from repro.hypergraph.freeconnex import is_free_connex
 from repro.joins.fc_reduce import free_connex_reduce
 from repro.joins.generic_join import generic_join
+from repro.joins.vectorized import columnar_family
 from repro.query.cq import ConjunctiveQuery
 
 Row = Tuple[object, ...]
@@ -55,6 +72,53 @@ class _NodeStore:
         group = self.groups.get(key)
         return group[2][-1] if group else 0
 
+    def locate(self, key: Row, index: int) -> Tuple[Row, int]:
+        """The row covering ``index`` within the key's block, and the
+        cumulative count preceding that row."""
+        _, rows, cumulative = self.groups[key]
+        slot = bisect_right(cumulative, index)
+        previous = cumulative[slot - 1] if slot else 0
+        return rows[slot], previous
+
+
+class _ColumnarNodeStore:
+    """Per-node access structures over lexsorted code columns.
+
+    ``codes`` holds the node's rows sorted by (separator codes, own
+    value-ranks); ``cum0`` is the exclusive prefix sum of the subtree
+    counts in that order; ``groups`` maps a coded separator key to its
+    contiguous ``[start, end)`` slice.  ``group_reps``/``group_totals``
+    expose the per-key totals as arrays so the *parent's* count pass
+    stays vectorized.
+    """
+
+    __slots__ = ("codes", "cum0", "groups", "group_reps", "group_totals")
+
+    def __init__(self) -> None:
+        self.codes: np.ndarray = np.empty((0, 0), dtype=np.int64)
+        self.cum0: np.ndarray = np.zeros(1, dtype=np.int64)
+        self.groups: Dict[Tuple[int, ...], Tuple[int, int]] = {}
+        self.group_reps: np.ndarray = np.empty((0, 0), dtype=np.int64)
+        self.group_totals: np.ndarray = np.empty(0, dtype=np.int64)
+
+    def total(self, key: Row) -> int:
+        slice_ = self.groups.get(tuple(key))
+        if slice_ is None:
+            return 0
+        start, end = slice_
+        return int(self.cum0[end] - self.cum0[start])
+
+    def locate(self, key: Row, index: int) -> Tuple[Row, int]:
+        start, end = self.groups[tuple(key)]
+        target = int(self.cum0[start]) + index
+        slot = start + int(
+            np.searchsorted(
+                self.cum0[start + 1 : end + 1], target, side="right"
+            )
+        )
+        previous = int(self.cum0[slot] - self.cum0[start])
+        return tuple(self.codes[slot].tolist()), previous
+
 
 class LexDirectAccess:
     """Direct access to query answers under a lexicographic order.
@@ -63,6 +127,10 @@ class LexDirectAccess:
     Answers are returned as tuples in *head* order; their ranking
     follows ``order``.  ``access(i)`` raises :class:`IndexError` when
     ``i`` is past the last answer (the paper's "error" convention).
+
+    ``store_backend`` reports which preprocessing ran: ``"columnar"``
+    (vectorized, zero row decodes) when the reduced frames are
+    columnar, ``"python"`` otherwise.
     """
 
     def __init__(
@@ -84,8 +152,10 @@ class LexDirectAccess:
                 "order must be a permutation of the head variables"
             )
         self.mode = "layered"
+        self.store_backend = "python"
         self._materialized: Optional[List[Row]] = None
         self._count = 0
+        self._dictionary = None
 
         layered: Optional[LayeredTree] = None
         reduced = None
@@ -113,7 +183,12 @@ class LexDirectAccess:
             return
         self._layered = layered
         self._reduced = reduced
-        self._build_stores()
+        self._dictionary = columnar_family(reduced.frames.values())
+        if self._dictionary is not None:
+            self.store_backend = "columnar"
+            self._build_stores_columnar()
+        else:
+            self._build_stores()
 
     # ------------------------------------------------------------------
     # preprocessing
@@ -125,27 +200,39 @@ class LexDirectAccess:
         self._materialized = answers
         self._count = len(answers)
 
+    def _node_separator(self, node: int) -> Tuple[str, ...]:
+        """Variables shared with the parent, in frame-column order."""
+        layered = self._layered
+        reduced = self._reduced
+        assert layered is not None and reduced is not None
+        parent = layered.parent[node]
+        if parent == VIRTUAL_ROOT:
+            return ()
+        frame = reduced.frames[node]
+        parent_vars = reduced.frames[parent].variables
+        return tuple(v for v in frame.variables if v in parent_vars)
+
+    def _finish_count(self, stores: Dict[int, object]) -> None:
+        layered = self._layered
+        assert layered is not None
+        self._stores = stores
+        total = 1
+        for child in layered.children[VIRTUAL_ROOT]:
+            total *= stores[child].total(())
+        self._count = total if layered.children[VIRTUAL_ROOT] else 0
+
     def _build_stores(self) -> None:
         layered = self._layered
         reduced = self._reduced
         assert layered is not None and reduced is not None
-        order_rank = {v: i for i, v in enumerate(self.order)}
         stores: Dict[int, _NodeStore] = {}
         # Bottom-up over the layered tree: reversed preorder works
         # because preorder parents precede children.
-        subtotal: Dict[int, Dict[Row, int]] = {}
         for node in reversed(layered.preorder):
             if node == VIRTUAL_ROOT:
                 continue
             frame = reduced.frames[node]
-            parent = layered.parent[node]
-            if parent == VIRTUAL_ROOT:
-                sep_vars: Tuple[str, ...] = ()
-            else:
-                parent_vars = reduced.frames[parent].variables
-                sep_vars = tuple(
-                    v for v in frame.variables if v in parent_vars
-                )
+            sep_vars = self._node_separator(node)
             own_vars = layered.own[node]
             store = _NodeStore()
             store.sep_positions = frame.positions(sep_vars)
@@ -189,11 +276,99 @@ class LexDirectAccess:
                     cumulative.append(running)
                 store.groups[sep_key] = (own_keys, rows, cumulative)
             stores[node] = store
-        self._stores = stores
-        total = 1
-        for child in layered.children[VIRTUAL_ROOT]:
-            total *= stores[child].total(())
-        self._count = total if layered.children[VIRTUAL_ROOT] else 0
+        self._finish_count(stores)
+
+    def _build_stores_columnar(self) -> None:
+        """Vectorized preprocessing over code columns (zero decodes)."""
+        layered = self._layered
+        reduced = self._reduced
+        dictionary = self._dictionary
+        assert (
+            layered is not None
+            and reduced is not None
+            and dictionary is not None
+        )
+        cardinality = len(dictionary)
+        values = dictionary.values()
+        stores: Dict[int, _ColumnarNodeStore] = {}
+        for node in reversed(layered.preorder):
+            if node == VIRTUAL_ROOT:
+                continue
+            frame = reduced.frames[node]
+            sep_pos = list(frame.positions(self._node_separator(node)))
+            own_pos = list(frame.positions(layered.own[node]))
+            codes = frame.codes()
+            counts = np.ones(len(codes), dtype=np.int64)
+            for child in layered.children[node]:
+                child_store = stores[child]
+                child_frame = reduced.frames[child]
+                child_sep = tuple(
+                    v
+                    for v in child_frame.variables
+                    if v in frame.variables
+                )
+                sub = codes[:, list(frame.positions(child_sep))]
+                index = lookup_rows(
+                    sub, child_store.group_reps, cardinality
+                )
+                found = index >= 0
+                counts *= np.where(
+                    found,
+                    child_store.group_totals[np.where(found, index, 0)],
+                    0,
+                )
+            keep = counts > 0
+            if not keep.all():
+                codes, counts = codes[keep], counts[keep]
+            n = len(codes)
+            # Dictionary codes are first-seen, not value-ordered; remap
+            # the own columns through value ranks so the lexsort below
+            # realizes the *value* order the access contract promises.
+            if own_pos and n:
+                own_codes = codes[:, own_pos]
+                used = np.unique(own_codes)
+                by_value = sorted(
+                    used.tolist(), key=lambda code: values[code]
+                )
+                table = np.zeros(int(used[-1]) + 1, dtype=np.int64)
+                table[np.asarray(by_value, dtype=np.int64)] = np.arange(
+                    len(by_value), dtype=np.int64
+                )
+                own_ranks = table[own_codes]
+            else:
+                own_ranks = np.empty((n, 0), dtype=np.int64)
+            sep_codes = codes[:, sep_pos] if sep_pos else codes[:, :0]
+            sort_keys = [
+                own_ranks[:, j]
+                for j in range(own_ranks.shape[1] - 1, -1, -1)
+            ] + [
+                sep_codes[:, j]
+                for j in range(sep_codes.shape[1] - 1, -1, -1)
+            ]
+            if sort_keys and n > 1:
+                order = np.lexsort(tuple(sort_keys))
+                codes, counts = codes[order], counts[order]
+                sep_codes = (
+                    codes[:, sep_pos] if sep_pos else codes[:, :0]
+                )
+            representatives, starts, ends = block_slices(sep_codes)
+            store = _ColumnarNodeStore()
+            store.codes = codes
+            store.cum0 = np.concatenate(
+                ([0], np.cumsum(counts, dtype=np.int64))
+            )
+            store.group_reps = representatives
+            store.group_totals = store.cum0[ends] - store.cum0[starts]
+            store.groups = {
+                tuple(rep): (int(start), int(end))
+                for rep, start, end in zip(
+                    store.group_reps.tolist(),
+                    starts.tolist(),
+                    ends.tolist(),
+                )
+            }
+            stores[node] = store
+        self._finish_count(stores)
 
     # ------------------------------------------------------------------
     # access
@@ -213,8 +388,12 @@ class LexDirectAccess:
         head_pos = {v: i for i, v in enumerate(self.head)}
         assignment: List[object] = [None] * len(self.head)
         # _select assigns each node's row and recurses; kick off at the
-        # virtual root with the full index.
+        # virtual root with the full index.  Columnar stores descend
+        # over codes; only the returned answer is decoded.
         self._descend_children(VIRTUAL_ROOT, index, assignment, head_pos)
+        if self.store_backend == "columnar":
+            decode = self._dictionary.decode
+            return tuple(decode(code) for code in assignment)
         return tuple(assignment)
 
     def _select(
@@ -228,20 +407,14 @@ class LexDirectAccess:
         reduced = self._reduced
         assert layered is not None and reduced is not None
         store = self._stores[node]
-        parent = layered.parent[node]
-        if parent == VIRTUAL_ROOT:
+        if layered.parent[node] == VIRTUAL_ROOT:
             key: Row = ()
         else:
-            frame = reduced.frames[node]
-            parent_vars = reduced.frames[parent].variables
-            sep_vars = tuple(
-                v for v in frame.variables if v in parent_vars
+            key = tuple(
+                assignment[head_pos[v]]
+                for v in self._node_separator(node)
             )
-            key = tuple(assignment[head_pos[v]] for v in sep_vars)
-        own_keys, rows, cumulative = store.groups[key]
-        slot = bisect_right(cumulative, index)
-        previous = cumulative[slot - 1] if slot else 0
-        row = rows[slot]
+        row, previous = store.locate(key, index)
         frame = reduced.frames[node]
         for position, variable in enumerate(frame.variables):
             assignment[head_pos[variable]] = row[position]
@@ -267,13 +440,10 @@ class LexDirectAccess:
             if node == VIRTUAL_ROOT:
                 key: Row = ()
             else:
-                child_frame = reduced.frames[child]
-                parent_frame = reduced.frames[node]
-                sep_vars = tuple(
-                    v for v in child_frame.variables
-                    if v in parent_frame.variables
+                key = tuple(
+                    assignment[head_pos[v]]
+                    for v in self._node_separator(child)
                 )
-                key = tuple(assignment[head_pos[v]] for v in sep_vars)
             sizes.append(self._stores[child].total(key))
         suffix_products = [1] * (len(children) + 1)
         for j in range(len(children) - 1, -1, -1):

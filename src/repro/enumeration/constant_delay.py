@@ -7,9 +7,19 @@ Preprocessing (Theorem 3.17's upper bound, all O(m)):
 2. for every join-tree node, index its rows by the separator toward the
    parent.
 
-Enumeration then walks the join tree depth-first.  Because the frames
-are fully reduced, *every* partial assignment extends to an answer:
-there are no dead ends, so the work between two consecutive answers is
+On Python-backend frames step 2 builds one dict-of-lists per node.  On
+columnar frames it is an array program: one ``np.lexsort`` per node
+(separator columns major) materializes the adjacency as contiguous
+sorted blocks, block boundaries come from one vectorized
+change-detection pass, and the sorted code rows are exported with a
+single bulk ``tolist`` — no tuple is decoded during preprocessing.
+Enumeration then binds dictionary *codes* and decodes exactly one
+answer per yield, so the decode cost is part of the (constant) delay,
+not the preprocessing.
+
+Enumeration walks the join tree depth-first.  Because the frames are
+fully reduced, *every* partial assignment extends to an answer: there
+are no dead ends, so the work between two consecutive answers is
 bounded by the number of tree nodes — a constant in data complexity.
 Answers are emitted without repetition because the reduced query is a
 join query over exactly the free variables (set semantics).
@@ -21,12 +31,16 @@ the superlinear behaviour that Theorem 3.16 proves necessary.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
+from repro.db.columnar import block_slices
 from repro.db.database import Database
 from repro.hypergraph.freeconnex import is_free_connex
 from repro.joins.fc_reduce import ReducedJoinQuery, free_connex_reduce
 from repro.joins.generic_join import generic_join
+from repro.joins.vectorized import columnar_family
 from repro.query.cq import ConjunctiveQuery
 
 Row = Tuple[object, ...]
@@ -46,7 +60,8 @@ class ConstantDelayEnumerator:
         benchmarks as the hard side of the dichotomy).
 
     The constructor *is* the preprocessing phase; iteration is the
-    enumeration phase.
+    enumeration phase.  ``store_backend`` reports which preprocessing
+    ran (``"columnar"`` = vectorized, zero row decodes).
     """
 
     def __init__(
@@ -55,8 +70,10 @@ class ConstantDelayEnumerator:
         self.query = query
         self.head = tuple(query.head)
         self.mode: str
+        self.store_backend = "python"
         self._materialized: Optional[List[Row]] = None
         self._reduced: Optional[ReducedJoinQuery] = None
+        self._dictionary = None
         if query.is_boolean():
             raise ValueError(
                 "Boolean queries have nothing to enumerate; use "
@@ -80,15 +97,12 @@ class ConstantDelayEnumerator:
     # ------------------------------------------------------------------
     # preprocessing internals
     # ------------------------------------------------------------------
-    def _build_indexes(self) -> None:
-        """Index every node's rows by its parent separator key."""
+    def _node_order_and_seps(self) -> None:
+        """Depth-first node order and each node's parent separator."""
         reduced = self._reduced
         assert reduced is not None
         self._node_order: List[int] = []
-        self._indexes: Dict[int, Dict[Row, List[Row]]] = {}
         self._sep_vars: Dict[int, Tuple[str, ...]] = {}
-        if reduced.is_empty:
-            return
         tree = reduced.tree
         # Depth-first preorder over the forest, deterministic.
         stack = list(reversed(tree.roots))
@@ -106,15 +120,73 @@ class ConstantDelayEnumerator:
                 sep = tuple(
                     v for v in frame.variables if v in parent_vars
                 )
-            positions = frame.positions(sep)
+            self._sep_vars[node] = sep
+
+    def _build_indexes(self) -> None:
+        """Index every node's rows by its parent separator key."""
+        reduced = self._reduced
+        assert reduced is not None
+        self._node_order = []
+        self._indexes: Dict[int, Dict[Row, object]] = {}
+        self._sep_vars = {}
+        if reduced.is_empty:
+            return
+        self._node_order_and_seps()
+        self._dictionary = columnar_family(reduced.frames.values())
+        if self._dictionary is not None:
+            self.store_backend = "columnar"
+            self._build_indexes_columnar()
+            return
+        for node in self._node_order:
+            frame = reduced.frames[node]
+            positions = frame.positions(self._sep_vars[node])
             index: Dict[Row, List[Row]] = {}
             for row in frame.rows:
                 key = tuple(row[p] for p in positions)
                 index.setdefault(key, []).append(row)
             for rows in index.values():
                 rows.sort()
-            self._sep_vars[node] = sep
             self._indexes[node] = index
+
+    def _build_indexes_columnar(self) -> None:
+        """Adjacency as lexsorted code blocks (zero row decodes).
+
+        Per node: sort the code matrix with the separator columns as
+        major keys, detect block boundaries vectorized, and map each
+        coded separator key to its ``(start, end)`` slice over a bulk
+        ``tolist`` export of the sorted rows.  Block-internal order is
+        code order — deterministic, but backend-specific (value order
+        would require comparing decoded values, which this phase
+        promises not to do).
+        """
+        reduced = self._reduced
+        assert reduced is not None
+        self._blocks: Dict[
+            int, Tuple[List[List[int]], Dict[Tuple[int, ...], Tuple[int, int]]]
+        ] = {}
+        for node in self._node_order:
+            frame = reduced.frames[node]
+            codes = frame.codes()
+            n, width = codes.shape
+            sep_pos = list(frame.positions(self._sep_vars[node]))
+            if n and width:
+                # Minor keys: the full row (deterministic block order);
+                # major keys (last in the lexsort tuple): separators.
+                keys = [
+                    codes[:, j] for j in range(width - 1, -1, -1)
+                ] + [codes[:, j] for j in reversed(sep_pos)]
+                codes = codes[np.lexsort(tuple(keys))]
+            sep_codes = codes[:, sep_pos] if sep_pos else codes[:, :0]
+            representatives, starts, ends = block_slices(sep_codes)
+            slices = {
+                tuple(rep): (int(start), int(end))
+                for rep, start, end in zip(
+                    representatives.tolist(),
+                    starts.tolist(),
+                    ends.tolist(),
+                )
+            }
+            self._blocks[node] = (codes.tolist(), slices)
 
     # ------------------------------------------------------------------
     # enumeration
@@ -123,7 +195,21 @@ class ConstantDelayEnumerator:
         if self.mode == "materialized":
             assert self._materialized is not None
             return iter(self._materialized)
+        if self.store_backend == "columnar":
+            return self._enumerate_columnar()
         return self._enumerate_free_connex()
+
+    def _var_positions(self) -> Dict[int, List[Tuple[int, int]]]:
+        reduced = self._reduced
+        assert reduced is not None
+        head_index = {v: i for i, v in enumerate(self.head)}
+        return {
+            node: [
+                (head_index[v], p)
+                for p, v in enumerate(reduced.frames[node].variables)
+            ]
+            for node in self._node_order
+        }
 
     def _enumerate_free_connex(self) -> Iterator[Row]:
         reduced = self._reduced
@@ -131,23 +217,15 @@ class ConstantDelayEnumerator:
         if reduced.is_empty:
             return
         order = self._node_order
-        head = self.head
-        head_index = {v: i for i, v in enumerate(head)}
-        var_positions: Dict[int, List[Tuple[int, int]]] = {}
-        for node in order:
-            frame = reduced.frames[node]
-            var_positions[node] = [
-                (head_index[v], p)
-                for p, v in enumerate(frame.variables)
-            ]
-        assignment: List[object] = [None] * len(head)
+        head_index = {v: i for i, v in enumerate(self.head)}
+        var_positions = self._var_positions()
+        assignment: List[object] = [None] * len(self.head)
 
         def recurse(depth: int) -> Iterator[Row]:
             if depth == len(order):
                 yield tuple(assignment)
                 return
             node = order[depth]
-            frame = reduced.frames[node]
             sep = self._sep_vars[node]
             key = tuple(assignment[head_index[v]] for v in sep)
             for row in self._indexes[node].get(key, ()):
@@ -158,6 +236,42 @@ class ConstantDelayEnumerator:
                     assignment[target] = row[source]
                 yield from recurse(depth + 1)
             # No cleanup needed: ancestors rebind on their next row.
+
+        yield from recurse(0)
+
+    def _enumerate_columnar(self) -> Iterator[Row]:
+        """The same depth-first walk over dictionary codes.
+
+        Each answer is decoded individually at yield time — a
+        constant-per-answer cost, preserving the delay contract while
+        the preprocessing stays decode-free.
+        """
+        reduced = self._reduced
+        assert reduced is not None
+        if reduced.is_empty:
+            return
+        order = self._node_order
+        head_index = {v: i for i, v in enumerate(self.head)}
+        var_positions = self._var_positions()
+        decode = self._dictionary.decode
+        assignment: List[int] = [0] * len(self.head)
+
+        def recurse(depth: int) -> Iterator[Row]:
+            if depth == len(order):
+                yield tuple(decode(code) for code in assignment)
+                return
+            node = order[depth]
+            sep = self._sep_vars[node]
+            key = tuple(assignment[head_index[v]] for v in sep)
+            rows, slices = self._blocks[node]
+            slice_ = slices.get(key)
+            if slice_ is None:
+                return
+            for position in range(slice_[0], slice_[1]):
+                row = rows[position]
+                for target, source in var_positions[node]:
+                    assignment[target] = row[source]
+                yield from recurse(depth + 1)
 
         yield from recurse(0)
 

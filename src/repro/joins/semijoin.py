@@ -11,15 +11,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.db.columnar import Dictionary
+from repro.db.columnar import ColumnarRelation, Dictionary
 from repro.db.database import Database
+from repro.db.relation import Relation
 from repro.hypergraph.jointree import JoinTree
 from repro.joins.frame import Frame
-from repro.joins.vectorized import (
-    ColumnarFrame,
-    check_backend,
-    frame_for_atom,
-)
+from repro.joins.vectorized import check_backend, frame_for_atom
 from repro.query.cq import ConjunctiveQuery
 
 
@@ -37,8 +34,12 @@ def atom_frames(
 
     Each frame uses the backend of its stored relation (so a columnar
     database flows into the vectorized join stack automatically).  Pass
-    ``backend=`` to force one backend, converting relations that are
-    stored the other way.
+    ``backend=`` to force one backend: relations stored the other way
+    are converted *once per relation symbol* (self-joins reuse the
+    conversion) at the store level, so the repeated-variable selection
+    and projection always run on the target backend — forcing
+    ``"columnar"`` never builds a Python frame first, and forcing
+    ``"python"`` decodes each relation exactly once.
     """
     query.validate_database(db)
     if backend is None:
@@ -48,17 +49,35 @@ def atom_frames(
         ]
     check_backend(backend)
     shared_dictionary = Dictionary()
-    frames = []
-    for atom in query.atoms:
-        frame = frame_for_atom(db[atom.relation], atom.variables)
-        if backend == "columnar" and isinstance(frame, Frame):
-            frame = ColumnarFrame.from_rows(
-                frame.variables, frame.rows, shared_dictionary
-            )
-        elif backend == "python" and isinstance(frame, ColumnarFrame):
-            frame = frame.to_frame()
-        frames.append(frame)
-    return frames
+    converted: Dict[str, object] = {}
+
+    def store_for(name: str):
+        relation = db[name]
+        wrong_way = (
+            not isinstance(relation, ColumnarRelation)
+            if backend == "columnar"
+            else isinstance(relation, ColumnarRelation)
+        )
+        if not wrong_way:
+            return relation
+        if name not in converted:
+            if backend == "columnar":
+                converted[name] = ColumnarRelation(
+                    relation.name,
+                    relation.arity,
+                    relation,
+                    dictionary=shared_dictionary,
+                )
+            else:
+                converted[name] = Relation(
+                    relation.name, relation.arity, relation.rows()
+                )
+        return converted[name]
+
+    return [
+        frame_for_atom(store_for(atom.relation), atom.variables)
+        for atom in query.atoms
+    ]
 
 
 def full_reducer_pass(

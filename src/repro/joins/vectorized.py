@@ -50,6 +50,7 @@ from repro.db.columnar import (
     Dictionary,
     atom_codes,
     common_keys,
+    group_rows,
     match_pairs,
     unique_rows,
 )
@@ -335,6 +336,22 @@ class ColumnarFrame:
             variables, taken, self.dictionary, _distinct=True
         )
 
+    def group_by(
+        self, variables: Sequence[str]
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Group rows by their projection onto ``variables``.
+
+        Returns ``(representatives, group_ids, group_count)`` as in
+        :func:`repro.db.columnar.group_rows`: the distinct key rows (as
+        a code matrix over ``variables``), a dense group id per frame
+        row, and the group count.  This is the grouping primitive the
+        vectorized semiring aggregation and direct-access builders
+        reduce over.
+        """
+        pos = list(self.positions(variables))
+        sub = self._codes[:, pos] if pos else self._codes[:, :0]
+        return group_rows(sub, len(self.dictionary))
+
     def to_tuples(
         self, variables: Optional[Sequence[str]] = None
     ) -> Set[Row]:
@@ -372,6 +389,27 @@ def relation_backend(relation) -> str:
         if isinstance(relation, ColumnarRelation)
         else PYTHON_BACKEND
     )
+
+
+def columnar_family(frames: Iterable) -> Optional[Dictionary]:
+    """The shared dictionary of an all-columnar frame family, else None.
+
+    The vectorized pipelines (FAQ aggregation, direct access,
+    enumeration preprocessing) compare codes across frames, which is
+    only sound when every frame is a :class:`ColumnarFrame` over one
+    :class:`Dictionary`.  Returns that dictionary when so, and ``None``
+    for empty, mixed-backend, or mixed-dictionary collections (callers
+    then take the scalar path).
+    """
+    dictionary: Optional[Dictionary] = None
+    for frame in frames:
+        if not isinstance(frame, ColumnarFrame):
+            return None
+        if dictionary is None:
+            dictionary = frame.dictionary
+        elif frame.dictionary is not dictionary:
+            return None
+    return dictionary
 
 
 def frame_for_atom(relation, variables: Sequence[str]):

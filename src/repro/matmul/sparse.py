@@ -10,9 +10,14 @@ the best known bound is O(m^1.3459) [Abboud et al., SODA 2024].
 :func:`sparse_bmm` is the classical output-sensitive "hash join"
 algorithm with runtime O(Σ_k in-degree(k)·out-degree(k)) — worst case
 m^2, and exactly the algorithm that enumeration of the query q̄*_2
-simulates in Theorem 3.15.  :func:`sparse_bmm_via_dense` routes through
-a dense backend, which wins on dense-ish inputs; the crossover between
-the two is one of the ablation benches.
+simulates in Theorem 3.15.  Beyond a small size cutoff the pairing is
+executed columnar — coordinate arrays matched on the middle index with
+the same sort/searchsorted/repeat kernel the join stack uses
+(:func:`repro.db.columnar.match_pairs`) — instead of Python dict
+loops; both paths compute the identical entry set.
+:func:`sparse_bmm_via_dense` routes through a dense backend, which
+wins on dense-ish inputs; the crossover between the two is one of the
+ablation benches.
 """
 
 from __future__ import annotations
@@ -21,7 +26,13 @@ from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 import numpy as np
 
+from repro.db.columnar import match_pairs
+
 Coordinate = Tuple[int, int]
+
+# Below this many total non-zeros the Python dict pairing beats the
+# NumPy path's fixed per-call overhead.
+_VECTORIZE_CUTOFF = 256
 
 
 class SparseBooleanMatrix:
@@ -75,10 +86,21 @@ class SparseBooleanMatrix:
             shape=(self.shape[1], self.shape[0]),
         )
 
+    def coordinate_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The entries as aligned int64 ``(rows, cols)`` arrays."""
+        if not self.entries:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        coords = np.asarray(sorted(self.entries), dtype=np.int64)
+        return (
+            np.ascontiguousarray(coords[:, 0]),
+            np.ascontiguousarray(coords[:, 1]),
+        )
+
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self.shape, dtype=bool)
-        for i, j in self.entries:
-            dense[i, j] = True
+        rows, cols = self.coordinate_arrays()
+        dense[rows, cols] = True
         return dense
 
     @classmethod
@@ -108,6 +130,8 @@ def sparse_bmm(
     """
     if a.shape[1] != b.shape[0]:
         raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
+    if a.nnz + b.nnz >= _VECTORIZE_CUTOFF:
+        return _sparse_bmm_columnar(a, b)
     by_col = a.rows_by_column()
     by_row = b.cols_by_row()
     out: Set[Coordinate] = set()
@@ -119,6 +143,32 @@ def sparse_bmm(
             for j in right_cols:
                 out.add((i, j))
     return SparseBooleanMatrix(out, shape=(a.shape[0], b.shape[1]))
+
+
+def _sparse_bmm_columnar(
+    a: SparseBooleanMatrix, b: SparseBooleanMatrix
+) -> SparseBooleanMatrix:
+    """The same pairing over coordinate arrays — no per-entry Python.
+
+    Matching A's column index against B's row index is exactly the
+    equi-join kernel of the columnar backend; the (i, j) results are
+    deduplicated with one ``np.unique`` over packed 64-bit keys.
+    """
+    rows_a, cols_a = a.coordinate_arrays()
+    rows_b, cols_b = b.coordinate_arrays()
+    left, right = match_pairs(cols_a, rows_b)
+    out = SparseBooleanMatrix(shape=(a.shape[0], b.shape[1]))
+    if len(left):
+        out_rows = rows_a[left]
+        out_cols = cols_b[right]
+        packed = np.unique(out_rows * np.int64(b.shape[1]) + out_cols)
+        out.entries = set(
+            zip(
+                (packed // b.shape[1]).tolist(),
+                (packed % b.shape[1]).tolist(),
+            )
+        )
+    return out
 
 
 def sparse_bmm_via_dense(

@@ -10,6 +10,20 @@ With the counting semiring and unit weights this is exactly the
 linear-time answer counting of Theorem 3.8; with the tropical semiring
 it is min-weight aggregation (Section 4.1.2).
 
+**Two execution paths.**  On Python-backend frames the passing is the
+classical dict fold: one Python dict per message, one fold per tuple.
+On columnar frames (:class:`repro.joins.vectorized.ColumnarFrame`
+sharing one dictionary) the same recurrence runs as an array program —
+a *message* is a pair ``(separator code matrix, weight column)``;
+receiving one is a binary-search gather
+(:func:`repro.db.columnar.lookup_rows`) plus an elementwise ⊗; sending
+one is a sort-based group-by (:func:`repro.db.columnar.group_rows`)
+plus one segment reduce (``⊕.reduceat``,
+:func:`repro.db.columnar.group_reduce`).  Semirings without native
+NumPy kernels fall back to object-dtype ``frompyfunc`` folds (see
+:meth:`repro.semiring.semirings.Semiring.kernels`), keeping a single
+code path.  No tuple is ever decoded back into Python values.
+
 Cyclic join queries fall back to :func:`aggregate_generic`: enumerate
 the full join with the worst-case-optimal join (Õ(m^{ρ*})) and fold.
 The gap between the two paths on the clique query is experiment E13.
@@ -17,14 +31,23 @@ The gap between the two paths on the clique query is experiment E13.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
+from repro.db.columnar import (
+    ColumnarRelation,
+    group_reduce,
+    group_rows,
+    lookup_rows,
+)
 from repro.db.database import Database
 from repro.hypergraph.gyo import join_tree
 from repro.hypergraph.jointree import JoinTree
 from repro.joins.frame import Frame
 from repro.joins.generic_join import generic_join
 from repro.joins.semijoin import atom_frames, full_reducer_pass
+from repro.joins.vectorized import ColumnarFrame, columnar_family
 from repro.query.cq import ConjunctiveQuery
 from repro.semiring.semirings import Semiring
 
@@ -39,32 +62,78 @@ class WeightedDatabase:
     default to the semiring's ``one`` (unweighted tuples are neutral),
     matching the convention that an unweighted query aggregates to a
     pure count/existence value.
+
+    For columnar relations the store additionally keys every weight by
+    the tuple's *dictionary codes*, so the vectorized aggregation reads
+    whole weight columns (:meth:`_AtomWeights.column`) without decoding
+    a single relation row — membership checks go through
+    :meth:`repro.db.columnar.ColumnarRelation.has_coded`.
     """
 
     def __init__(self, db: Database) -> None:
         self.db = db
         self._weights: Dict[str, Dict[Row, object]] = {}
+        # relation name -> {coded tuple: weight}; columnar relations only.
+        self._coded: Dict[str, Dict[Tuple[int, ...], object]] = {}
 
     def set_weight(self, relation: str, row: Row, weight: object) -> None:
-        if tuple(row) not in self.db[relation]:
+        tup = tuple(row)
+        rel = self.db[relation]
+        if isinstance(rel, ColumnarRelation):
+            coded = []
+            for value in tup:
+                code = rel.dictionary.encode_existing(value)
+                if code is None:
+                    raise KeyError(
+                        f"tuple {row} not present in relation {relation!r}"
+                    )
+                coded.append(code)
+            if not rel.has_coded(coded):
+                raise KeyError(
+                    f"tuple {row} not present in relation {relation!r}"
+                )
+            self._coded.setdefault(relation, {})[tuple(coded)] = weight
+        elif tup not in rel:
             raise KeyError(
                 f"tuple {row} not present in relation {relation!r}"
             )
-        self._weights.setdefault(relation, {})[tuple(row)] = weight
+        self._weights.setdefault(relation, {})[tup] = weight
 
     def weight(self, relation: str, row: Row, semiring: Semiring) -> object:
         return self._weights.get(relation, {}).get(tuple(row), semiring.one)
 
+    def coded_weights(
+        self, relation: str
+    ) -> Dict[Tuple[int, ...], object]:
+        """Stored weights of a columnar relation, keyed by code tuples."""
+        return self._coded.get(relation, {})
+
     def atom_weight_fn(
         self, query: ConjunctiveQuery, semiring: Semiring
-    ) -> WeightFn:
+    ) -> "_AtomWeights":
         """A per-atom weight function for the given query.
 
-        Atom ``i``'s weight of a *frame row* is the stored weight of the
-        corresponding relation tuple.  Atoms with repeated variables map
-        the deduplicated frame row back to the full relation tuple.
+        The returned object is callable as ``weights(i, frame_row)``
+        for the scalar path and additionally exposes
+        :meth:`_AtomWeights.column` for the vectorized path.  Atoms
+        with repeated variables map the deduplicated frame row back to
+        the full relation tuple in both cases.
         """
-        expanders = []
+        return _AtomWeights(self, query, semiring)
+
+
+class _AtomWeights:
+    """Per-atom tuple weights, usable scalar-wise or as weight columns."""
+
+    def __init__(
+        self,
+        weighted: WeightedDatabase,
+        query: ConjunctiveQuery,
+        semiring: Semiring,
+    ) -> None:
+        self.weighted = weighted
+        self.semiring = semiring
+        self.expanders: List[Tuple[str, Tuple[int, ...]]] = []
         for atom in query.atoms:
             distinct: list = []
             for v in atom.variables:
@@ -72,14 +141,72 @@ class WeightedDatabase:
                     distinct.append(v)
             index = {v: i for i, v in enumerate(distinct)}
             positions = tuple(index[v] for v in atom.variables)
-            expanders.append((atom.relation, positions))
+            self.expanders.append((atom.relation, positions))
 
-        def weight(atom_index: int, frame_row: Row) -> object:
-            relation, positions = expanders[atom_index]
-            full_row = tuple(frame_row[p] for p in positions)
-            return self.weight(relation, full_row, semiring)
+    def __call__(self, atom_index: int, frame_row: Row) -> object:
+        relation, positions = self.expanders[atom_index]
+        full_row = tuple(frame_row[p] for p in positions)
+        return self.weighted.weight(relation, full_row, self.semiring)
 
-        return weight
+    def column(self, atom_index: int, frame: ColumnarFrame) -> np.ndarray:
+        """The weight column of ``frame``'s rows, aligned with its codes.
+
+        Zero-decode when the frame shares the columnar relation's
+        dictionary (the ``backend="columnar"`` database path): stored
+        code-keyed weights are scattered into the column via one
+        binary-search lookup.  Foreign dictionaries fall back to
+        per-row scalar lookups over decoded rows.
+        """
+        relation, positions = self.expanders[atom_index]
+        semiring = self.semiring
+        rel = self.weighted.db[relation]
+        codes = frame.codes()
+        if (
+            isinstance(rel, ColumnarRelation)
+            and frame.dictionary is rel.dictionary
+        ):
+            stored = self.weighted.coded_weights(relation)
+            if not stored:
+                return semiring.unit_column(len(codes))
+            full = codes[:, list(positions)]
+            keys = np.asarray(list(stored), dtype=np.int64).reshape(
+                len(stored), len(positions)
+            )
+            weight_values = list(stored.values())
+            index = lookup_rows(full, keys, len(frame.dictionary))
+            found = index >= 0
+            _, _, dtype = semiring.kernels()
+            if np.dtype(dtype) != np.dtype(object):
+                try:
+                    values = np.asarray(weight_values)
+                except (OverflowError, ValueError):
+                    values = None
+                if (
+                    values is not None
+                    and values.ndim == 1
+                    and values.dtype != np.dtype(object)
+                ):
+                    gathered = values[np.where(found, index, 0)]
+                    return np.where(found, gathered, semiring.one)
+            # Exotic carriers (sequence-valued weights, ints >= 2^63):
+            # fill an object column element by element — exact, and no
+            # slower than the object-dtype fold that consumes it.
+            column = semiring.unit_column(len(codes))
+            if column.dtype != np.dtype(object):
+                fallback = np.empty(len(codes), dtype=object)
+                fallback[:] = column
+                column = fallback
+            for position, slot in enumerate(index.tolist()):
+                if slot >= 0:
+                    column[position] = weight_values[slot]
+            return column
+        return np.asarray(
+            [
+                self(atom_index, row)
+                for row in frame.dictionary.decode_rows(codes)
+            ],
+            dtype=object,
+        )
 
 
 def aggregate_acyclic(
@@ -118,7 +245,28 @@ def aggregate_frames(
     ``frames`` must be globally consistent (run the full reducer first);
     otherwise tuples without child matches are ⊕-skipped, which computes
     the aggregate over the actual join but may visit dead tuples.
+
+    Dispatches on the frame backend: columnar frames sharing one
+    dictionary run the vectorized array program (when the weights are
+    ``None`` or column-capable, as returned by
+    :meth:`WeightedDatabase.atom_weight_fn`); everything else runs the
+    scalar dict fold.
     """
+    if weights is None or hasattr(weights, "column"):
+        if columnar_family(frames.values()) is not None:
+            return _aggregate_frames_columnar(
+                frames, tree, semiring, weights
+            )
+    return _aggregate_frames_python(frames, tree, semiring, weights)
+
+
+def _aggregate_frames_python(
+    frames: Mapping[int, Frame],
+    tree: JoinTree,
+    semiring: Semiring,
+    weights: Optional[WeightFn] = None,
+) -> object:
+    """The scalar message passing: dicts of separator keys."""
     if weights is None:
         weights = lambda i, row: semiring.one  # noqa: E731
     # messages[node]: dict mapping separator key -> ⊕-sum over the
@@ -167,6 +315,71 @@ def aggregate_frames(
         messages[node] = out
         node_value[node] = semiring.sum(out.values())
     return semiring.product(node_value[root] for root in tree.roots)
+
+
+def _aggregate_frames_columnar(
+    frames: Mapping[int, ColumnarFrame],
+    tree: JoinTree,
+    semiring: Semiring,
+    weights: Optional["_AtomWeights"],
+) -> object:
+    """The vectorized message passing: weight columns along separators.
+
+    A message is ``(separator representatives, reduced weight column)``.
+    Per node: gather each child's column by binary search on the node's
+    separator codes, ⊗ into the node's own weight column, drop rows
+    some child cannot extend, then group by the parent separator and
+    ⊕-reduce each segment.  Everything is O(n log n) array work; the
+    only Python-level loop is over the (constant-size) tree.
+    """
+    plus_ufunc, times_fn, _ = semiring.kernels()
+    messages: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    node_value: Dict[int, object] = {}
+    for node in tree.bottom_up():
+        frame = frames[node]
+        codes = frame.codes()
+        cardinality = len(frame.dictionary)
+        if weights is None:
+            values = semiring.unit_column(len(codes))
+        else:
+            values = weights.column(node, frame)
+        alive = np.ones(len(codes), dtype=bool)
+        for child in tree.children(node):
+            sep = tuple(
+                sorted(
+                    v for v in frame.variables
+                    if v in frames[child].variables
+                )
+            )
+            child_keys, child_values = messages.pop(child)
+            sub = codes[:, list(frame.positions(sep))]
+            index = lookup_rows(sub, child_keys, cardinality)
+            found = index >= 0
+            alive &= found
+            incoming = child_values[np.where(found, index, 0)]
+            # Dead rows pick up garbage here; they are masked out below.
+            values = times_fn(values, incoming)
+        if not alive.all():
+            codes = codes[alive]
+            values = values[alive]
+        sep_to_parent = tree.separator(node)
+        parent_key_vars = tuple(
+            sorted(v for v in frame.variables if v in sep_to_parent)
+        )
+        sub = codes[:, list(frame.positions(parent_key_vars))]
+        representatives, group_ids, group_count = group_rows(
+            sub, cardinality
+        )
+        reduced = group_reduce(values, group_ids, group_count, plus_ufunc)
+        messages[node] = (representatives, reduced)
+        node_value[node] = (
+            semiring.as_scalar(plus_ufunc.reduce(reduced))
+            if len(reduced)
+            else semiring.zero
+        )
+    return semiring.as_scalar(
+        semiring.product(node_value[root] for root in tree.roots)
+    )
 
 
 def aggregate_generic(
