@@ -16,7 +16,13 @@ see :mod:`repro.db.columnar`), selected via ``Database(backend=...)``.
 
 from repro.db.columnar import ColumnarRelation, Dictionary
 from repro.db.database import Database
-from repro.db.interface import FrameAlgebra, TupleStore
+from repro.db.interface import (
+    FrameAlgebra,
+    StaleStructureError,
+    TupleStore,
+    snapshot_stamps,
+    stale_relations,
+)
 from repro.db.relation import Relation
 
 __all__ = [
@@ -25,5 +31,8 @@ __all__ = [
     "Dictionary",
     "FrameAlgebra",
     "Relation",
+    "StaleStructureError",
     "TupleStore",
+    "snapshot_stamps",
+    "stale_relations",
 ]

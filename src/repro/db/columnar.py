@@ -35,6 +35,18 @@ more than a few thousand tuples.  Single-tuple mutation, tiny
 relations, and workloads dominated by per-row Python callbacks (e.g.
 ``retain`` with an arbitrary predicate) favour the Python backend,
 which is why it stays the default.
+
+**Delta segments.**  Single-tuple ``add``/``discard`` do not rewrite
+the code matrix: they append to an op log whose net effect (the
+*delta segments* — pending inserts and deletes) is merged into the
+compacted *main segment* on read and folded in for good only when the
+delta outgrows ``max(DELTA_COMPACT_MIN, DELTA_COMPACT_FRACTION *
+len(main))``.  Between compactions the relation keeps exact history:
+``delta_since(stamp)`` reports the net inserted/deleted code rows
+since any recorded ``mutation_stamp``, which is what lets derived
+answer structures (FAQ messages, direct-access stores, enumeration
+blocks) repair themselves incrementally instead of rebuilding — see
+the mutation/consistency contract in :mod:`repro.db.interface`.
 """
 
 from __future__ import annotations
@@ -54,6 +66,19 @@ import numpy as np
 
 Value = object
 Row = Tuple[Value, ...]
+
+# ----------------------------------------------------------------------
+# delta-segment compaction policy
+# ----------------------------------------------------------------------
+# Pending single-tuple ops are folded into the main segment once they
+# touch more than max(DELTA_COMPACT_MIN, DELTA_COMPACT_FRACTION * n)
+# distinct tuples.  Below the threshold reads merge on the fly and the
+# op log keeps exact history for ColumnarRelation.delta_since; at the
+# threshold incremental repair of derived structures would approach
+# rebuild cost anyway, so compaction (which truncates history) is the
+# designed fallback point.
+DELTA_COMPACT_MIN = 64
+DELTA_COMPACT_FRACTION = 0.25
 
 # ----------------------------------------------------------------------
 # decode instrumentation
@@ -203,6 +228,31 @@ def common_keys(
     _, inverse = np.unique(both, axis=0, return_inverse=True)
     inverse = inverse.reshape(-1).astype(np.int64, copy=False)
     return inverse[: len(left)], inverse[len(left):]
+
+
+def atom_projection(
+    atom_variables: Sequence[str],
+) -> Tuple[Tuple[int, ...], List[Tuple[int, int]]]:
+    """First-occurrence positions and repeated-position checks.
+
+    Returns ``(proj, checks)``: the positions that survive projection
+    onto distinct variables (first occurrences, in order) and the
+    ``(position, first_position)`` pairs a stored tuple must satisfy
+    with equality to pass the atom's repeated-variable selection.
+    This is the single-row counterpart of :func:`atom_codes` — the
+    incremental maintainers use it to map a relation's delta rows onto
+    frame rows, so the semantics cannot drift from the bulk path.
+    """
+    first: Dict[str, int] = {}
+    proj: List[int] = []
+    checks: List[Tuple[int, int]] = []
+    for pos, var in enumerate(atom_variables):
+        if var in first:
+            checks.append((pos, first[var]))
+        else:
+            first[var] = pos
+            proj.append(pos)
+    return tuple(proj), checks
 
 
 def atom_codes(
@@ -364,8 +414,11 @@ class ColumnarRelation:
     operators work on the code matrix and only decode at the Python
     boundary (iteration, ``rows()``, legacy ``index()``).
 
-    Single-tuple ``add``/``discard`` are buffered and flushed lazily on
-    the next read, so bulk loads through ``add`` stay O(n) overall.
+    Storage is a compacted main segment plus delta segments: an op log
+    of single-tuple inserts/deletes merged on read and compacted when
+    it outgrows a fraction of the main segment (module docstring).
+    ``mutation_stamp`` / ``delta_since`` expose the consistency
+    contract of :mod:`repro.db.interface` to derived structures.
     """
 
     backend = "columnar"
@@ -382,13 +435,21 @@ class ColumnarRelation:
         self.name = name
         self.arity = arity
         self.dictionary = dictionary if dictionary is not None else Dictionary()
-        self._codes = np.empty((0, arity), dtype=np.int64)
-        # Buffered single-tuple mutations, last-op-wins per coded tuple
-        # (True = insert, False = delete); applied lazily by _flush.
-        self._ops: Dict[Tuple[int, ...], bool] = {}
+        # Compacted main segment: deduplicated (n, arity) code matrix.
+        self._main = np.empty((0, arity), dtype=np.int64)
+        # Delta segments: append-only op log since the last barrier
+        # (coded tuple, True=insert/False=delete, stamp), plus its
+        # last-op-wins net view used by merge-on-read and has_coded.
+        self._log: List[Tuple[Tuple[int, ...], bool, int]] = []
+        self._net: Dict[Tuple[int, ...], bool] = {}
+        self._stamp = 0
+        # Stamp as of the last barrier (compaction / bulk rewrite);
+        # delta_since cannot answer for stamps before it.
+        self._base_stamp = 0
+        self._merged: Optional[np.ndarray] = None
+        self._main_set: Optional[FrozenSet[Tuple[int, ...]]] = None
         self._tuple_cache: Optional[List[Row]] = None
         self._set_cache: Optional[FrozenSet[Row]] = None
-        self._coded_set_cache: Optional[FrozenSet[Tuple[int, ...]]] = None
         self._indexes: Dict[Tuple[int, ...], Dict[Row, List[Row]]] = {}
         if rows is not None:
             self.add_all(rows)
@@ -399,37 +460,131 @@ class ColumnarRelation:
     def _invalidate(self) -> None:
         self._tuple_cache = None
         self._set_cache = None
-        self._coded_set_cache = None
+        self._merged = None
         self._indexes.clear()
 
-    def _flush(self) -> None:
-        """Apply buffered single-tuple mutations to the code matrix."""
-        if not self._ops:
-            return
-        inserts = [t for t, keep in self._ops.items() if keep]
-        deletes = [t for t, keep in self._ops.items() if not keep]
-        codes = self._codes
-        if deletes:
-            gone_rows = np.asarray(deletes, dtype=np.int64).reshape(
-                len(deletes), self.arity
+    def _compact_limit(self) -> int:
+        return max(
+            DELTA_COMPACT_MIN,
+            int(DELTA_COMPACT_FRACTION * len(self._main)),
+        )
+
+    def _main_frozen(self) -> FrozenSet[Tuple[int, ...]]:
+        """Coded-tuple set of the main segment (cached per epoch)."""
+        if self._main_set is None:
+            self._main_set = frozenset(map(tuple, self._main.tolist()))
+        return self._main_set
+
+    def _merge(self) -> np.ndarray:
+        """The merged view: main minus net deletes plus net inserts."""
+        if not self._net:
+            return self._main
+        ops = np.asarray(list(self._net.keys()), dtype=np.int64).reshape(
+            len(self._net), self.arity
+        )
+        is_insert = np.fromiter(
+            self._net.values(), dtype=bool, count=len(self._net)
+        )
+        main_keys, op_keys = common_keys(
+            self._main, ops, len(self.dictionary)
+        )
+        delete_keys = op_keys[~is_insert]
+        base = (
+            self._main[~np.isin(main_keys, delete_keys)]
+            if len(delete_keys)
+            else self._main
+        )
+        appends = ops[is_insert & ~np.isin(op_keys, main_keys)]
+        if not len(appends):
+            return base
+        return np.concatenate([base, appends], axis=0)
+
+    def _adopt(self, codes: np.ndarray) -> None:
+        """Make ``codes`` the new main segment (a history barrier)."""
+        self._main = codes
+        self._log.clear()
+        self._net.clear()
+        self._base_stamp = self._stamp
+        self._main_set = None
+        self._merged = codes
+
+    def _log_op(self, coded: Tuple[int, ...], is_insert: bool) -> None:
+        self._stamp += 1
+        self._log.append((coded, is_insert, self._stamp))
+        self._net[coded] = is_insert
+        self._invalidate()
+        if len(self._net) > self._compact_limit():
+            self.compact()
+
+    def compact(self) -> None:
+        """Fold the delta segments into the main segment.
+
+        A no-op when there are no pending ops.  Content is unchanged
+        (``mutation_stamp`` does not move), but history is truncated:
+        ``delta_since`` answers ``None`` for stamps recorded before
+        this point.
+        """
+        if self._net:
+            self._adopt(self._merge())
+
+    @property
+    def mutation_stamp(self) -> int:
+        """Monotone stamp, bumped by every (possibly) mutating call."""
+        return self._stamp
+
+    @property
+    def delta_size(self) -> int:
+        """Distinct tuples touched by the pending delta segments."""
+        return len(self._net)
+
+    def delta_since(
+        self, stamp: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Net ``(inserted, deleted)`` code rows since ``stamp``.
+
+        Exact: logically-absorbed ops (re-adding a present tuple, an
+        add/discard pair) cancel out.  Returns ``None`` when ``stamp``
+        predates the last barrier (compaction or bulk rewrite) — the
+        history needed no longer exists and callers must rebuild.
+        """
+        empty = np.empty((0, self.arity), dtype=np.int64)
+        if stamp == self._stamp:
+            return empty, empty
+        if stamp < self._base_stamp or stamp > self._stamp:
+            return None
+        before: Dict[Tuple[int, ...], bool] = {}
+        touched: Dict[Tuple[int, ...], None] = {}
+        for coded, is_insert, op_stamp in self._log:
+            if op_stamp <= stamp:
+                before[coded] = is_insert
+            else:
+                touched[coded] = None
+        inserted: List[Tuple[int, ...]] = []
+        deleted: List[Tuple[int, ...]] = []
+        for coded in touched:
+            now = self._net[coded]
+            was = before.get(coded)
+            if was is None:
+                was = coded in self._main_frozen()
+            if now and not was:
+                inserted.append(coded)
+            elif was and not now:
+                deleted.append(coded)
+
+        def matrix(rows: List[Tuple[int, ...]]) -> np.ndarray:
+            if not rows:
+                return empty
+            return np.asarray(rows, dtype=np.int64).reshape(
+                len(rows), self.arity
             )
-            keys, gone = common_keys(codes, gone_rows, len(self.dictionary))
-            codes = codes[~np.isin(keys, gone)]
-        if inserts:
-            fresh = np.asarray(inserts, dtype=np.int64).reshape(
-                len(inserts), self.arity
-            )
-            codes = unique_rows(
-                np.concatenate([codes, fresh], axis=0),
-                len(self.dictionary),
-            )
-        self._codes = codes
-        self._ops = {}
+
+        return matrix(inserted), matrix(deleted)
 
     def codes(self) -> np.ndarray:
-        """The deduplicated ``(n, arity)`` int64 code matrix."""
-        self._flush()
-        return self._codes
+        """The deduplicated ``(n, arity)`` int64 code matrix (merged view)."""
+        if self._merged is None:
+            self._merged = self._merge()
+        return self._merged
 
     def _tuples(self) -> List[Row]:
         """Decoded rows, aligned with :meth:`codes` (cached)."""
@@ -454,26 +609,39 @@ class ColumnarRelation:
         return tup
 
     def add(self, row: Sequence[Value]) -> None:
-        """Insert one tuple; duplicates are silently absorbed."""
+        """Insert one tuple; duplicates are silently absorbed.
+
+        Appends to the delta segments in O(1); the main segment is not
+        rewritten.  ``mutation_stamp`` advances even when the tuple was
+        already present (``delta_since`` reports the exact net change).
+        """
         tup = self._check_width(tuple(row))
         encode = self.dictionary.encode
-        self._ops[tuple(encode(v) for v in tup)] = True
-        self._invalidate()
+        self._log_op(tuple(encode(v) for v in tup), True)
 
     def add_all(self, rows: Iterable[Sequence[Value]]) -> None:
-        """Bulk insert: one encode pass, one vectorized dedupe."""
+        """Bulk insert: one encode pass, one vectorized dedupe.
+
+        Small batches (``<= DELTA_COMPACT_MIN`` rows) route through the
+        delta segments and keep history; larger ones rewrite the main
+        segment and act as a history barrier.
+        """
         fresh = self.dictionary.encode_rows(
             (self._check_width(tuple(r)) for r in rows), self.arity
         )
         if not len(fresh):
             return
-        self._flush()
-        merged = np.concatenate([self._codes, fresh], axis=0)
-        self._codes = unique_rows(merged, len(self.dictionary))
+        if len(fresh) <= DELTA_COMPACT_MIN:
+            for coded in map(tuple, fresh.tolist()):
+                self._log_op(coded, True)
+            return
+        merged = np.concatenate([self.codes(), fresh], axis=0)
+        self._stamp += 1
         self._invalidate()
+        self._adopt(unique_rows(merged, len(self.dictionary)))
 
     def discard(self, row: Sequence[Value]) -> None:
-        """Remove a tuple if present."""
+        """Remove a tuple if present (delta-segment append, O(1))."""
         tup = self._check_width(tuple(row))
         coded = []
         for value in tup:
@@ -481,8 +649,7 @@ class ColumnarRelation:
             if code is None:
                 return  # value unseen => tuple cannot be stored
             coded.append(code)
-        self._ops[tuple(coded)] = False
-        self._invalidate()
+        self._log_op(tuple(coded), False)
 
     def retain(self, predicate) -> int:
         """Keep only tuples satisfying ``predicate``; return removed count.
@@ -490,6 +657,13 @@ class ColumnarRelation:
         The predicate is an arbitrary Python callable, so this is a
         decode-and-scan — one of the operations where the Python
         backend's layout is no worse (see module docstring).
+
+        Semantics under delta segments: the predicate is evaluated on
+        the *merged* view (pending ops included, last-op-wins), and a
+        removing ``retain`` is a bulk rewrite — it compacts the result
+        into the main segment and acts as a history barrier for
+        ``delta_since``.  A ``retain`` that removes nothing leaves the
+        stamp, the delta segments and the history untouched.
         """
         tuples = self._tuples()
         if not tuples:
@@ -501,8 +675,10 @@ class ColumnarRelation:
         )
         removed = int(len(tuples) - keep.sum())
         if removed:
-            self._codes = self._codes[keep]
+            retained = self.codes()[keep]
+            self._stamp += 1
             self._invalidate()
+            self._adopt(retained)
         return removed
 
     # ------------------------------------------------------------------
@@ -546,13 +722,15 @@ class ColumnarRelation:
 
         Weight stores and other code-level callers use this instead of
         ``__contains__``, which would decode the whole relation just to
-        build a value set.
+        build a value set.  O(1) under update streams: the net delta
+        ops answer directly, falling back to the per-epoch main-segment
+        set (rebuilt only at compaction, not per mutation).
         """
-        if self._coded_set_cache is None:
-            self._coded_set_cache = frozenset(
-                map(tuple, self.codes().tolist())
-            )
-        return tuple(coded) in self._coded_set_cache
+        key = tuple(coded)
+        net = self._net.get(key)
+        if net is not None:
+            return net
+        return key in self._main_frozen()
 
     def is_empty(self) -> bool:
         return not len(self.codes())
@@ -607,7 +785,7 @@ class ColumnarRelation:
             name or f"{self.name}_proj", len(cols), dictionary=self.dictionary
         )
         taken = self.codes()[:, list(cols)] if cols else self.codes()[:, :0]
-        out._codes = unique_rows(taken, len(self.dictionary))
+        out._main = unique_rows(taken, len(self.dictionary))
         return out
 
     def select_eq(self, column: int, value: Value) -> "ColumnarRelation":
@@ -619,7 +797,7 @@ class ColumnarRelation:
         code = self.dictionary.encode_existing(value)
         if code is not None:
             codes = self.codes()
-            out._codes = codes[codes[:, col] == code]
+            out._main = codes[codes[:, col] == code]
         return out
 
     def active_domain(self) -> set:
@@ -633,5 +811,5 @@ class ColumnarRelation:
         out = ColumnarRelation(
             name or self.name, self.arity, dictionary=self.dictionary
         )
-        out._codes = self.codes().copy()
+        out._main = self.codes().copy()
         return out

@@ -22,11 +22,63 @@ The classes below are *virtual* ABCs: implementations are registered
 rather than subclassed, so each backend keeps its own storage layout
 (``__slots__``-free sets vs NumPy arrays) while ``isinstance`` checks
 against the interface still work.
+
+Mutation / consistency contract
+-------------------------------
+
+Derived answer structures (FAQ message tables, the direct-access
+stores of :class:`repro.direct_access.lex.LexDirectAccess`, the
+enumeration blocks of
+:class:`repro.enumeration.constant_delay.ConstantDelayEnumerator`)
+snapshot a relation at preprocessing time.  Serving answers from such
+a snapshot after the relation mutated is the *stale-answer-structure*
+bug class; the contract below makes it detectable and, where the
+backend keeps delta history, cheaply repairable.
+
+``mutation_stamp``
+    A monotone non-negative integer, bumped by every mutating call
+    (``add`` / ``add_all`` / ``discard`` / ``retain``) that may have
+    changed the tuple set.  Two equal stamps guarantee identical
+    content; a drifted stamp means "possibly changed" (the columnar
+    backend bumps even for logically-absorbed ops such as re-adding a
+    present tuple — :meth:`delta_since` then reports an exact, possibly
+    empty, net delta).  Derived structures record the stamp of every
+    relation they read at build time and compare on access — on drift
+    they raise :class:`StaleStructureError` or refresh, never silently
+    answer from the dead snapshot.
+
+``delta_since(stamp) -> ((inserted, deleted)) | None``
+    The *net* change of the tuple set between the snapshot taken at
+    ``stamp`` and now, as two code matrices (columnar backend; rows
+    are dictionary codes), or ``None`` when the history needed to
+    answer exactly is gone (the stamp predates the last compaction or
+    bulk rewrite — callers must then rebuild).  Exactness matters: an
+    ``add`` of a present tuple or an ``add``/``discard`` pair cancels
+    to nothing, so replaying the delta against a structure built at
+    ``stamp`` reproduces the current content.
+
+**Columnar storage layout.**  A
+:class:`~repro.db.columnar.ColumnarRelation` holds a compacted *main
+segment* (one deduplicated int64 code matrix) plus an append-only op
+log of single-tuple inserts/deletes (the *delta segments*).  Reads
+merge on the fly (``codes()`` filters deleted main rows and appends
+net inserts, cached until the next mutation).  When the delta grows
+past ``max(DELTA_COMPACT_MIN, DELTA_COMPACT_FRACTION * len(main))``
+the merged view is adopted as the new main segment and the log is
+cleared — which truncates history, so ``delta_since`` answers ``None``
+for stamps before the compaction and derived structures fall back to a
+full rebuild (exactly the regime where the delta was no longer small).
+``retain`` and large ``add_all`` calls are bulk rewrites: they compact
+first and also act as history barriers.  The Python backend mutates in
+place and keeps no history (``delta_since`` is always ``None``), but
+maintains its hash indexes incrementally and bumps ``mutation_stamp``
+only on effective changes.
 """
 
 from __future__ import annotations
 
 from abc import ABC
+from typing import Dict, Iterable
 
 BACKENDS = ("python", "columnar")
 
@@ -40,19 +92,51 @@ def check_backend(backend: str) -> str:
     return backend
 
 
+class StaleStructureError(RuntimeError):
+    """A derived answer structure outlived the relations it was built on.
+
+    Raised by direct-access / enumeration / maintenance structures when
+    a relation's ``mutation_stamp`` drifted past the one recorded at
+    preprocessing time and the structure was not asked to refresh.
+    Serving the old snapshot would silently return pre-mutation
+    answers — the bug this error makes loud.
+    """
+
+
+def snapshot_stamps(db, names: Iterable[str]) -> Dict[str, int]:
+    """The current ``mutation_stamp`` of each named relation in ``db``."""
+    return {name: db[name].mutation_stamp for name in names}
+
+
+def stale_relations(db, stamps: Dict[str, int]) -> Dict[str, int]:
+    """The subset of ``stamps`` whose relation has since drifted.
+
+    Maps each drifted relation name to the *recorded* (build-time)
+    stamp, so callers can ask the relation for ``delta_since`` it.
+    """
+    return {
+        name: stamp
+        for name, stamp in stamps.items()
+        if db[name].mutation_stamp != stamp
+    }
+
+
 class TupleStore(ABC):
     """What a relation backend must provide.
 
-    Identity:  ``name``, ``arity``.
-    Mutation:  ``add(row)``, ``add_all(rows)``, ``discard(row)``,
-               ``retain(predicate) -> int``.
-    Access:    ``__len__``, ``__iter__`` (value tuples),
-               ``__contains__``, ``rows() -> frozenset``,
-               ``is_empty()``, ``active_domain()``.
-    Operators: ``index(columns)`` / ``lookup(columns, key)`` (hash
-               index as dict-of-lists over value tuples),
-               ``distinct_values(column)``, ``project(columns)``,
-               ``select_eq(column, value)``, ``copy()``.
+    Identity:   ``name``, ``arity``.
+    Mutation:   ``add(row)``, ``add_all(rows)``, ``discard(row)``,
+                ``retain(predicate) -> int``.
+    Consistency:``mutation_stamp`` (monotone int property),
+                ``delta_since(stamp)`` (net change or None — see the
+                module docstring's mutation/consistency contract).
+    Access:     ``__len__``, ``__iter__`` (value tuples),
+                ``__contains__``, ``rows() -> frozenset``,
+                ``is_empty()``, ``active_domain()``.
+    Operators:  ``index(columns)`` / ``lookup(columns, key)`` (hash
+                index as dict-of-lists over value tuples),
+                ``distinct_values(column)``, ``project(columns)``,
+                ``select_eq(column, value)``, ``copy()``.
     """
 
 

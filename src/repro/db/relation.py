@@ -42,9 +42,29 @@ class Relation:
         self.name = name
         self.arity = arity
         self._rows: set = set()
+        self._stamp = 0
         self._indexes: Dict[Tuple[int, ...], Dict[Row, List[Row]]] = {}
         if rows is not None:
             self.add_all(rows)
+
+    @property
+    def mutation_stamp(self) -> int:
+        """Monotone stamp, bumped on every *effective* mutation.
+
+        Part of the consistency contract of :mod:`repro.db.interface`:
+        derived structures record it at build time and treat drift as
+        staleness.  The Python backend mutates in place and can check
+        membership for free, so (unlike the columnar backend) the stamp
+        moves only when the tuple set actually changed.
+        """
+        return self._stamp
+
+    def delta_since(self, stamp: int):
+        """Net change since ``stamp`` — the Python backend keeps no
+        history, so only the trivial "no change" case is answerable."""
+        if stamp == self._stamp:
+            return (), ()
+        return None
 
     # ------------------------------------------------------------------
     # mutation
@@ -92,6 +112,7 @@ class Relation:
             )
         if tup not in self._rows:
             self._rows.add(tup)
+            self._stamp += 1
             self._index_insert(tup)
 
     def add_all(self, rows: Iterable[Sequence[Value]]) -> None:
@@ -105,6 +126,7 @@ class Relation:
                 )
             if tup not in self._rows:
                 self._rows.add(tup)
+                self._stamp += 1
                 self._index_insert(tup)
 
     def discard(self, row: Sequence[Value]) -> None:
@@ -112,6 +134,7 @@ class Relation:
         tup = tuple(row)
         if tup in self._rows:
             self._rows.discard(tup)
+            self._stamp += 1
             self._index_remove(tup)
 
     def retain(self, predicate) -> int:
@@ -125,6 +148,7 @@ class Relation:
         removed = len(self._rows) - len(keep)
         if removed:
             self._rows = keep
+            self._stamp += 1
             self._indexes.clear()
         return removed
 

@@ -29,6 +29,23 @@ one ``np.cumsum``.  No row is decoded during preprocessing —
 only the single returned answer.  Subtree counts use int64 (exact
 below 2^63; the Python store keeps bigints).
 
+**Staleness and maintenance.**  The stores snapshot the database: the
+constructor records every relation's ``mutation_stamp`` and ``access``
+compares them first.  On drift the default (``on_stale="error"``) is
+to raise :class:`repro.db.interface.StaleStructureError` — the
+structure used to answer silently from the dead snapshot.  With
+``on_stale="refresh"`` the structure repairs itself: for a columnar
+join query it is built over the *unreduced* atom frames (so rows the
+full reducer would drop stay present with subtree count 0 and can
+revive later) and each net delta row from
+:meth:`repro.db.columnar.ColumnarRelation.delta_since` is spliced into
+its node's sorted block — one ``np.insert`` plus a prefix-sum
+recompute — with the affected ancestor counts repaired level by level
+(a vectorized scan per level).  When a relation's delta history is
+gone (compaction past the threshold, or a bulk rewrite) refresh falls
+back to a full rebuild — the regime where patching would not have
+been cheaper anyway.
+
 When no layered tree exists (a disruptive trio), the ``strict=False``
 fallback materializes and sorts the whole result — the superlinear
 preprocessing that Lemma 3.23 proves necessary.
@@ -36,21 +53,34 @@ preprocessing that Lemma 3.23 proves necessary.
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.db.columnar import block_slices, lookup_rows
+from repro.db.columnar import (
+    atom_projection,
+    block_slices,
+    common_keys,
+    lookup_rows,
+    unique_rows,
+)
 from repro.db.database import Database
+from repro.db.interface import (
+    StaleStructureError,
+    snapshot_stamps,
+    stale_relations,
+)
 from repro.direct_access.layered import (
     VIRTUAL_ROOT,
     LayeredTree,
     find_layered_tree,
 )
 from repro.hypergraph.freeconnex import is_free_connex
-from repro.joins.fc_reduce import free_connex_reduce
+from repro.hypergraph.jointree import JoinTree
+from repro.joins.fc_reduce import ReducedJoinQuery, free_connex_reduce
 from repro.joins.generic_join import generic_join
+from repro.joins.semijoin import atom_frames
 from repro.joins.vectorized import columnar_family
 from repro.query.cq import ConjunctiveQuery
 
@@ -85,31 +115,68 @@ class _ColumnarNodeStore:
     """Per-node access structures over lexsorted code columns.
 
     ``codes`` holds the node's rows sorted by (separator codes, own
-    value-ranks); ``cum0`` is the exclusive prefix sum of the subtree
-    counts in that order; ``groups`` maps a coded separator key to its
-    contiguous ``[start, end)`` slice.  ``group_reps``/``group_totals``
-    expose the per-key totals as arrays so the *parent's* count pass
-    stays vectorized.
+    value-ranks); ``counts`` the per-row subtree counts in that order
+    and ``cum0`` their exclusive prefix sum.  Blocks (one per coded
+    separator key) are kept as aligned sorted structures — ``rep_keys``
+    (a bisectable list of key tuples), ``rep_matrix`` (the same keys as
+    a code matrix, for vectorized gathers) and ``starts``/``ends``
+    half-open bounds — so a single-row patch is one ``bisect`` plus a
+    couple of ``np.insert`` memmoves rather than a dict rebuild.
+    Zero-count rows may be present (maintained stores keep them so a
+    later update can revive them); ``locate``'s right-sided binary
+    search never selects them.
     """
 
-    __slots__ = ("codes", "cum0", "groups", "group_reps", "group_totals")
+    __slots__ = (
+        "codes",
+        "counts",
+        "cum0",
+        "rep_keys",
+        "rep_matrix",
+        "starts",
+        "ends",
+        "sep_pos",
+        "own_pos",
+    )
 
     def __init__(self) -> None:
         self.codes: np.ndarray = np.empty((0, 0), dtype=np.int64)
+        self.counts: np.ndarray = np.empty(0, dtype=np.int64)
         self.cum0: np.ndarray = np.zeros(1, dtype=np.int64)
-        self.groups: Dict[Tuple[int, ...], Tuple[int, int]] = {}
-        self.group_reps: np.ndarray = np.empty((0, 0), dtype=np.int64)
-        self.group_totals: np.ndarray = np.empty(0, dtype=np.int64)
+        self.rep_keys: List[Tuple[int, ...]] = []
+        self.rep_matrix: np.ndarray = np.empty((0, 0), dtype=np.int64)
+        self.starts: np.ndarray = np.empty(0, dtype=np.int64)
+        self.ends: np.ndarray = np.empty(0, dtype=np.int64)
+        self.sep_pos: List[int] = []
+        self.own_pos: List[int] = []
+
+    def block(self, key: Tuple[int, ...]) -> Optional[int]:
+        """The block index of a coded separator key, or None."""
+        i = bisect_left(self.rep_keys, key)
+        if i < len(self.rep_keys) and self.rep_keys[i] == key:
+            return i
+        return None
+
+    def refresh_cum(self) -> None:
+        self.cum0 = np.concatenate(
+            ([0], np.cumsum(self.counts, dtype=np.int64))
+        )
+
+    def totals_array(self) -> np.ndarray:
+        """Per-block totals, aligned with ``rep_keys``/``rep_matrix``."""
+        return self.cum0[self.ends] - self.cum0[self.starts]
 
     def total(self, key: Row) -> int:
-        slice_ = self.groups.get(tuple(key))
-        if slice_ is None:
+        i = self.block(tuple(key))
+        if i is None:
             return 0
-        start, end = slice_
-        return int(self.cum0[end] - self.cum0[start])
+        return int(
+            self.cum0[int(self.ends[i])] - self.cum0[int(self.starts[i])]
+        )
 
     def locate(self, key: Row, index: int) -> Tuple[Row, int]:
-        start, end = self.groups[tuple(key)]
+        i = self.block(tuple(key))
+        start, end = int(self.starts[i]), int(self.ends[i])
         target = int(self.cum0[start]) + index
         slot = start + int(
             np.searchsorted(
@@ -131,6 +198,12 @@ class LexDirectAccess:
     ``store_backend`` reports which preprocessing ran: ``"columnar"``
     (vectorized, zero row decodes) when the reduced frames are
     columnar, ``"python"`` otherwise.
+
+    ``on_stale`` picks the behaviour when an underlying relation
+    mutates after preprocessing (module docstring): ``"error"`` fails
+    fast with :class:`StaleStructureError`, ``"refresh"`` repairs the
+    stores (incrementally where the delta segments allow it, by full
+    rebuild otherwise).
     """
 
     def __init__(
@@ -139,7 +212,12 @@ class LexDirectAccess:
         db: Database,
         order: Optional[Sequence[str]] = None,
         strict: bool = True,
+        on_stale: str = "error",
     ) -> None:
+        if on_stale not in ("error", "refresh"):
+            raise ValueError(
+                f"on_stale must be 'error' or 'refresh', got {on_stale!r}"
+            )
         self.query = query
         self.head = tuple(query.head)
         if not self.head:
@@ -151,19 +229,37 @@ class LexDirectAccess:
             raise ValueError(
                 "order must be a permutation of the head variables"
             )
+        self.strict = strict
+        self.on_stale = on_stale
+        self._db = db
+        self.rebuilds = -1  # the build below is construction
+        self._build()
+
+    # ------------------------------------------------------------------
+    # preprocessing
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        query, db = self.query, self._db
+        self.rebuilds += 1
+        self._stamps = snapshot_stamps(db, query.relation_symbols)
         self.mode = "layered"
         self.store_backend = "python"
         self._materialized: Optional[List[Row]] = None
         self._count = 0
         self._dictionary = None
+        self._maintain = False
+        self._layered: Optional[LayeredTree] = None
+        self._reduced: Optional[ReducedJoinQuery] = None
+        self._stores: Dict[int, object] = {}
 
         layered: Optional[LayeredTree] = None
         reduced = None
         if is_free_connex(query):
+            if self.on_stale == "refresh" and query.is_join_query():
+                if self._try_build_maintained():
+                    return
             reduced = free_connex_reduce(query, db)
             if reduced.is_empty:
-                self._layered = None
-                self._stores: Dict[int, _NodeStore] = {}
                 return
             bags = {
                 node: frozenset(frame.variables)
@@ -171,7 +267,7 @@ class LexDirectAccess:
             }
             layered = find_layered_tree(bags, self.order)
         if layered is None:
-            if strict:
+            if self.strict:
                 raise ValueError(
                     f"query {query.name} admits no layered join tree for "
                     f"order {self.order} (disruptive trio or not "
@@ -190,9 +286,70 @@ class LexDirectAccess:
         else:
             self._build_stores()
 
-    # ------------------------------------------------------------------
-    # preprocessing
-    # ------------------------------------------------------------------
+    def _try_build_maintained(self) -> bool:
+        """Build patchable stores over the unreduced atom frames.
+
+        Only for columnar join queries with a layered tree: node =
+        atom, so a relation's net delta maps row-for-row onto a node's
+        rows (after the atom's repeated-variable selection), and the
+        full reducer is skipped — rows without extensions simply carry
+        subtree count 0, which the access math already treats as
+        absent, and which an update can later revive (patching stores
+        built from *reduced* frames could not resurrect dropped rows).
+        Returns False when this build does not apply; the caller then
+        falls back to the classic reduced build (whose refresh is a
+        full rebuild).
+        """
+        query, db = self.query, self._db
+        frames = dict(enumerate(atom_frames(query, db)))
+        dictionary = columnar_family(frames.values())
+        if dictionary is None:
+            return False
+        bags = {
+            node: frozenset(frame.variables)
+            for node, frame in frames.items()
+        }
+        layered = find_layered_tree(bags, self.order)
+        if layered is None:
+            return False
+        tree = JoinTree(
+            bags=bags,
+            parent={
+                node: parent
+                for node, parent in layered.parent.items()
+                if node != VIRTUAL_ROOT
+                and parent is not None
+                and parent != VIRTUAL_ROOT
+            },
+        )
+        self._layered = layered
+        self._reduced = ReducedJoinQuery(
+            head=self.head, frames=frames, tree=tree
+        )
+        self._dictionary = dictionary
+        self.store_backend = "columnar"
+        self._maintain = True
+        self._atom_nodes: Dict[str, List[int]] = {}
+        self._atom_proj: Dict[
+            int, Tuple[Tuple[int, ...], List[Tuple[int, int]]]
+        ] = {}
+        for node, atom in enumerate(query.atoms):
+            self._atom_nodes.setdefault(atom.relation, []).append(node)
+            self._atom_proj[node] = atom_projection(atom.variables)
+        self._build_stores_columnar(drop_dead=False)
+        self._child_sep_pos: Dict[int, Dict[int, List[int]]] = {}
+        for node, frame in frames.items():
+            positions: Dict[int, List[int]] = {}
+            for child in layered.children[node]:
+                child_sep = tuple(
+                    v
+                    for v in frames[child].variables
+                    if v in frame.variables
+                )
+                positions[child] = list(frame.positions(child_sep))
+            self._child_sep_pos[node] = positions
+        return True
+
     def _materialize(self, db: Database) -> None:
         key_positions = [self.head.index(v) for v in self.order]
         answers = list(generic_join(self.query, db))
@@ -278,8 +435,14 @@ class LexDirectAccess:
             stores[node] = store
         self._finish_count(stores)
 
-    def _build_stores_columnar(self) -> None:
-        """Vectorized preprocessing over code columns (zero decodes)."""
+    def _build_stores_columnar(self, drop_dead: bool = True) -> None:
+        """Vectorized preprocessing over code columns (zero decodes).
+
+        ``drop_dead=False`` (maintained stores) keeps rows whose
+        subtree count is 0: they cost nothing during access (the
+        prefix-sum search skips zero-width rows) but can be revived by
+        later updates without a rebuild.
+        """
         layered = self._layered
         reduced = self._reduced
         dictionary = self._dictionary
@@ -308,18 +471,26 @@ class LexDirectAccess:
                     if v in frame.variables
                 )
                 sub = codes[:, list(frame.positions(child_sep))]
+                totals = child_store.totals_array()
+                if not len(totals):
+                    # Empty child (reachable with drop_dead=False, where
+                    # empty frames skip the is_empty short-circuit): no
+                    # row extends downward.
+                    counts[:] = 0
+                    continue
                 index = lookup_rows(
-                    sub, child_store.group_reps, cardinality
+                    sub, child_store.rep_matrix, cardinality
                 )
                 found = index >= 0
                 counts *= np.where(
                     found,
-                    child_store.group_totals[np.where(found, index, 0)],
+                    totals[np.where(found, index, 0)],
                     0,
                 )
-            keep = counts > 0
-            if not keep.all():
-                codes, counts = codes[keep], counts[keep]
+            if drop_dead:
+                keep = counts > 0
+                if not keep.all():
+                    codes, counts = codes[keep], counts[keep]
             n = len(codes)
             # Dictionary codes are first-seen, not value-ordered; remap
             # the own columns through value ranks so the lexsort below
@@ -354,30 +525,241 @@ class LexDirectAccess:
             representatives, starts, ends = block_slices(sep_codes)
             store = _ColumnarNodeStore()
             store.codes = codes
-            store.cum0 = np.concatenate(
-                ([0], np.cumsum(counts, dtype=np.int64))
-            )
-            store.group_reps = representatives
-            store.group_totals = store.cum0[ends] - store.cum0[starts]
-            store.groups = {
-                tuple(rep): (int(start), int(end))
-                for rep, start, end in zip(
-                    store.group_reps.tolist(),
-                    starts.tolist(),
-                    ends.tolist(),
-                )
-            }
+            store.counts = counts
+            store.refresh_cum()
+            store.rep_matrix = representatives
+            store.rep_keys = [
+                tuple(rep) for rep in representatives.tolist()
+            ]
+            store.starts = starts.astype(np.int64, copy=True)
+            store.ends = ends.astype(np.int64, copy=True)
+            store.sep_pos = sep_pos
+            store.own_pos = own_pos
             stores[node] = store
         self._finish_count(stores)
+
+    # ------------------------------------------------------------------
+    # staleness
+    # ------------------------------------------------------------------
+    def _check_fresh(self) -> None:
+        drifted = stale_relations(self._db, self._stamps)
+        if not drifted:
+            return
+        if self.on_stale == "refresh":
+            self.refresh()
+            return
+        raise StaleStructureError(
+            f"LexDirectAccess for query {self.query.name} was built "
+            f"before relation(s) {sorted(drifted)} mutated; its answers "
+            "would be stale. Rebuild it, or construct with "
+            "on_stale='refresh' to repair automatically."
+        )
+
+    def refresh(self) -> None:
+        """Bring the stores up to date with the database.
+
+        Incremental (per-row block patches) when this is a maintained
+        columnar structure and every drifted relation still has delta
+        history; a full rebuild otherwise.
+        """
+        drifted = stale_relations(self._db, self._stamps)
+        if not drifted:
+            return
+        if not (self._maintain and self.mode == "layered"):
+            self._build()
+            return
+        plan: List[Tuple[str, np.ndarray, np.ndarray]] = []
+        for name, stamp in drifted.items():
+            delta_since = getattr(self._db[name], "delta_since", None)
+            delta = delta_since(stamp) if delta_since is not None else None
+            if delta is None:
+                self._build()
+                return
+            inserted, deleted = delta
+            plan.append((name, np.asarray(inserted), np.asarray(deleted)))
+        for name, inserted, deleted in plan:
+            nodes = self._atom_nodes.get(name, ())
+            for row in map(tuple, deleted.tolist()):
+                for node in nodes:
+                    self._patch(node, row, insert=False)
+            for row in map(tuple, inserted.tolist()):
+                for node in nodes:
+                    self._patch(node, row, insert=True)
+            self._stamps[name] = self._db[name].mutation_stamp
+        self._finish_count(self._stores)
+
+    # ------------------------------------------------------------------
+    # incremental patching (maintained columnar stores)
+    # ------------------------------------------------------------------
+    def _own_key(
+        self, store: _ColumnarNodeStore, codes_row: np.ndarray
+    ) -> Tuple:
+        values = self._dictionary.values()
+        return tuple(values[int(codes_row[p])] for p in store.own_pos)
+
+    def _bisect_block(
+        self,
+        store: _ColumnarNodeStore,
+        start: int,
+        end: int,
+        own_key: Tuple,
+    ) -> Tuple[int, bool]:
+        """Position of ``own_key`` inside a sorted block, + exact hit.
+
+        O(log block) comparisons, each decoding one pivot row's own
+        columns — the same per-access decode budget ``access`` has.
+        """
+        codes = store.codes
+        lo, hi = start, end
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._own_key(store, codes[mid]) < own_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        exact = lo < end and self._own_key(store, codes[lo]) == own_key
+        return lo, exact
+
+    def _patch(self, node: int, rel_row: Row, insert: bool) -> None:
+        """Splice one net relation delta row into one node's store."""
+        proj, checks = self._atom_proj[node]
+        for pos, first in checks:
+            if rel_row[pos] != rel_row[first]:
+                return  # fails the atom's repeated-variable selection
+        row = np.asarray([rel_row[p] for p in proj], dtype=np.int64)
+        store: _ColumnarNodeStore = self._stores[node]
+        layered = self._layered
+        sep_key = tuple(int(row[p]) for p in store.sep_pos)
+        own_key = self._own_key(store, row)
+        totals_changed = False
+        if insert:
+            count = 1
+            for child in layered.children[node]:
+                child_key = tuple(
+                    int(row[p]) for p in self._child_sep_pos[node][child]
+                )
+                count *= self._stores[child].total(child_key)
+            i = store.block(sep_key)
+            if i is None:
+                i = bisect_left(store.rep_keys, sep_key)
+                position = (
+                    int(store.starts[i])
+                    if i < len(store.rep_keys)
+                    else len(store.codes)
+                )
+                store.rep_keys.insert(i, sep_key)
+                store.rep_matrix = np.insert(
+                    store.rep_matrix,
+                    i,
+                    np.asarray(sep_key, dtype=np.int64),
+                    axis=0,
+                )
+                store.starts = np.insert(store.starts, i, position)
+                store.ends = np.insert(store.ends, i, position)
+            start, end = int(store.starts[i]), int(store.ends[i])
+            position, exact = self._bisect_block(
+                store, start, end, own_key
+            )
+            if exact:
+                return  # row already present (defensive; deltas are net)
+            store.codes = np.insert(store.codes, position, row, axis=0)
+            store.counts = np.insert(store.counts, position, count)
+            store.ends[i:] += 1
+            store.starts[i + 1 :] += 1
+            store.refresh_cum()
+            totals_changed = count != 0
+        else:
+            i = store.block(sep_key)
+            if i is None:
+                return  # row never reached this node (defensive)
+            start, end = int(store.starts[i]), int(store.ends[i])
+            position, exact = self._bisect_block(
+                store, start, end, own_key
+            )
+            if not exact or not np.array_equal(
+                store.codes[position], row
+            ):
+                return  # defensive
+            removed = int(store.counts[position])
+            store.codes = np.delete(store.codes, position, axis=0)
+            store.counts = np.delete(store.counts, position)
+            store.ends[i:] -= 1
+            store.starts[i + 1 :] -= 1
+            store.refresh_cum()
+            totals_changed = removed != 0
+        if totals_changed:
+            keys = np.asarray(sep_key, dtype=np.int64).reshape(
+                1, len(sep_key)
+            )
+            self._propagate(node, keys)
+
+    def _propagate(self, node: int, keys: np.ndarray) -> None:
+        """Repair ancestor subtree counts for the changed child keys.
+
+        Per level: one vectorized scan finds the parent rows matching
+        a changed key, their counts are recomputed from the (already
+        repaired) child block totals, the prefix sums are re-cumsummed,
+        and the parent separator keys of the rows whose count actually
+        changed propagate further up.  Cancellations (block totals that
+        end up unchanged) stop the walk at the next level.
+        """
+        layered = self._layered
+        cardinality = len(self._dictionary)
+        child = node
+        while True:
+            parent = layered.parent[child]
+            if parent is None or parent == VIRTUAL_ROOT:
+                return
+            pstore: _ColumnarNodeStore = self._stores[parent]
+            if not len(pstore.codes):
+                return
+            cpos = self._child_sep_pos[parent][child]
+            sub = pstore.codes[:, cpos] if cpos else pstore.codes[:, :0]
+            sub_keys, changed_keys = common_keys(sub, keys, cardinality)
+            affected = np.flatnonzero(np.isin(sub_keys, changed_keys))
+            if not len(affected):
+                return
+            rows = pstore.codes[affected]
+            new_counts = np.ones(len(affected), dtype=np.int64)
+            for other in layered.children[parent]:
+                opos = self._child_sep_pos[parent][other]
+                other_sub = rows[:, opos] if opos else rows[:, :0]
+                other_store: _ColumnarNodeStore = self._stores[other]
+                if len(other_store.rep_keys):
+                    index = lookup_rows(
+                        other_sub, other_store.rep_matrix, cardinality
+                    )
+                    found = index >= 0
+                    totals = other_store.totals_array()
+                    new_counts *= np.where(
+                        found, totals[np.where(found, index, 0)], 0
+                    )
+                else:
+                    new_counts[:] = 0
+            changed = new_counts != pstore.counts[affected]
+            if not changed.any():
+                return
+            pstore.counts[affected] = new_counts
+            pstore.refresh_cum()
+            changed_rows = rows[changed]
+            sep = (
+                changed_rows[:, pstore.sep_pos]
+                if pstore.sep_pos
+                else changed_rows[:, :0]
+            )
+            keys = unique_rows(sep, cardinality)
+            child = parent
 
     # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------
     def __len__(self) -> int:
+        self._check_fresh()
         return self._count
 
     def access(self, index: int) -> Row:
         """The answer at ``index`` (0-based) in the lexicographic order."""
+        self._check_fresh()
         if index < 0 or index >= self._count:
             raise IndexError(
                 f"index {index} out of range for {self._count} answers"
@@ -459,4 +841,5 @@ class LexDirectAccess:
     # ------------------------------------------------------------------
     def materialize(self) -> List[Row]:
         """All answers in order (test helper; output-sized)."""
+        self._check_fresh()
         return [self.access(i) for i in range(self._count)]

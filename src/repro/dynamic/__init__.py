@@ -7,8 +7,16 @@ tractable side for hierarchical *join* queries:
 :class:`HierarchicalCountMaintainer` keeps the answer count current
 under single-tuple inserts and deletes with O(|q|) dictionary work per
 update — constant in data complexity.
+
+For the columnar backend, :class:`AcyclicCountMaintainer` maintains
+the count of any *acyclic* join query over the shared relations by
+folding delta messages into the FAQ message tables (O(depth)
+group-merges per updated tuple; see
+:class:`repro.semiring.faq.AggregateMaintainer` for the general
+semiring form and the rebuild fallbacks).
 """
 
+from repro.dynamic.acyclic_count import AcyclicCountMaintainer
 from repro.dynamic.hierarchical_count import HierarchicalCountMaintainer
 
-__all__ = ["HierarchicalCountMaintainer"]
+__all__ = ["AcyclicCountMaintainer", "HierarchicalCountMaintainer"]

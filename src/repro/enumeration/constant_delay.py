@@ -24,6 +24,19 @@ bounded by the number of tree nodes — a constant in data complexity.
 Answers are emitted without repetition because the reduced query is a
 join query over exactly the free variables (set semantics).
 
+**Staleness and maintenance.**  The blocks snapshot the database; the
+constructor records every relation's ``mutation_stamp`` and iteration
+compares them first.  On drift the default (``on_stale="error"``)
+raises :class:`repro.db.interface.StaleStructureError` instead of
+silently streaming pre-mutation answers.  With ``on_stale="refresh"``
+(columnar join queries) the blocks are built per *atom* over the
+unreduced frames and a drifted relation rebuilds only its own node's
+blocks — block families are independent across nodes, so nothing else
+is touched.  Skipping the full reducer means a partial assignment can
+hit a dead end (the walk just backtracks), trading the constant-delay
+guarantee for cheap maintenance; answers remain exactly ``q(D)``.
+Non-join or non-columnar inputs refresh by full rebuild.
+
 For non-free-connex queries, ``strict=False`` switches to a
 materialize-first fallback whose preprocessing is the full evaluation —
 the superlinear behaviour that Theorem 3.16 proves necessary.
@@ -37,10 +50,17 @@ import numpy as np
 
 from repro.db.columnar import block_slices
 from repro.db.database import Database
+from repro.db.interface import (
+    StaleStructureError,
+    snapshot_stamps,
+    stale_relations,
+)
 from repro.hypergraph.freeconnex import is_free_connex
+from repro.hypergraph.gyo import join_tree
 from repro.joins.fc_reduce import ReducedJoinQuery, free_connex_reduce
 from repro.joins.generic_join import generic_join
-from repro.joins.vectorized import columnar_family
+from repro.joins.semijoin import atom_frames
+from repro.joins.vectorized import ColumnarFrame, columnar_family
 from repro.query.cq import ConjunctiveQuery
 
 Row = Tuple[object, ...]
@@ -58,6 +78,11 @@ class ConstantDelayEnumerator:
         :class:`ValueError`.  When False, fall back to materializing
         the answers during preprocessing (superlinear, measured by the
         benchmarks as the hard side of the dichotomy).
+    on_stale:
+        ``"error"`` (default) raises :class:`StaleStructureError` when
+        iterating after an underlying relation mutated; ``"refresh"``
+        repairs the blocks first (per-node rebuild for columnar join
+        queries, full rebuild otherwise — module docstring).
 
     The constructor *is* the preprocessing phase; iteration is the
     enumeration phase.  ``store_backend`` reports which preprocessing
@@ -65,25 +90,50 @@ class ConstantDelayEnumerator:
     """
 
     def __init__(
-        self, query: ConjunctiveQuery, db: Database, strict: bool = True
+        self,
+        query: ConjunctiveQuery,
+        db: Database,
+        strict: bool = True,
+        on_stale: str = "error",
     ) -> None:
+        if on_stale not in ("error", "refresh"):
+            raise ValueError(
+                f"on_stale must be 'error' or 'refresh', got {on_stale!r}"
+            )
         self.query = query
         self.head = tuple(query.head)
-        self.mode: str
-        self.store_backend = "python"
-        self._materialized: Optional[List[Row]] = None
-        self._reduced: Optional[ReducedJoinQuery] = None
-        self._dictionary = None
+        self.strict = strict
+        self.on_stale = on_stale
+        self._db = db
+        self.rebuilds = -1  # the build below is construction
         if query.is_boolean():
             raise ValueError(
                 "Boolean queries have nothing to enumerate; use "
                 "yannakakis_boolean"
             )
+        self._build()
+
+    def _build(self) -> None:
+        query, db = self.query, self._db
+        self.rebuilds += 1
+        self._stamps = snapshot_stamps(db, query.relation_symbols)
+        self.mode: str
+        self.store_backend = "python"
+        self._materialized: Optional[List[Row]] = None
+        self._reduced: Optional[ReducedJoinQuery] = None
+        self._dictionary = None
+        self._maintain = False
         if is_free_connex(query):
             self.mode = "free-connex"
+            if (
+                self.on_stale == "refresh"
+                and query.is_join_query()
+                and self._try_build_maintained()
+            ):
+                return
             self._reduced = free_connex_reduce(query, db)
             self._build_indexes()
-        elif strict:
+        elif self.strict:
             raise ValueError(
                 f"query {query.name} is not free-connex; constant-delay "
                 "enumeration after linear preprocessing is impossible "
@@ -93,6 +143,74 @@ class ConstantDelayEnumerator:
         else:
             self.mode = "materialized"
             self._materialized = sorted(generic_join(query, db))
+
+    def _try_build_maintained(self) -> bool:
+        """Per-atom blocks over unreduced columnar frames.
+
+        Node = atom, so a drifted relation maps to a known set of
+        nodes whose blocks can be rebuilt in isolation.  Returns False
+        (caller takes the classic reduced build) when the frames are
+        not an all-columnar family.
+        """
+        query, db = self.query, self._db
+        frames = dict(enumerate(atom_frames(query, db)))
+        dictionary = columnar_family(frames.values())
+        if dictionary is None:
+            return False
+        self._reduced = ReducedJoinQuery(
+            head=self.head,
+            frames=frames,
+            tree=join_tree(query.hypergraph()),
+        )
+        self._maintain = True
+        self._atom_nodes: Dict[str, List[int]] = {}
+        for node, atom in enumerate(query.atoms):
+            self._atom_nodes.setdefault(atom.relation, []).append(node)
+        self._build_indexes()
+        assert self.store_backend == "columnar"
+        return True
+
+    # ------------------------------------------------------------------
+    # staleness
+    # ------------------------------------------------------------------
+    def _check_fresh(self) -> None:
+        drifted = stale_relations(self._db, self._stamps)
+        if not drifted:
+            return
+        if self.on_stale == "refresh":
+            self.refresh()
+            return
+        raise StaleStructureError(
+            f"ConstantDelayEnumerator for query {self.query.name} was "
+            f"built before relation(s) {sorted(drifted)} mutated; its "
+            "stream would be stale. Rebuild it, or construct with "
+            "on_stale='refresh' to repair automatically."
+        )
+
+    def refresh(self) -> None:
+        """Bring the blocks up to date with the database.
+
+        Maintained structures rebuild only the drifted relations'
+        nodes (block families are per-node and independent); anything
+        else rebuilds wholesale.
+        """
+        drifted = stale_relations(self._db, self._stamps)
+        if not drifted:
+            return
+        if not self._maintain:
+            self._build()
+            return
+        reduced = self._reduced
+        assert reduced is not None
+        for name in drifted:
+            for node in self._atom_nodes.get(name, ()):
+                atom = self.query.atoms[node]
+                frame = ColumnarFrame.from_atom(
+                    self._db[name], atom.variables
+                )
+                reduced.frames[node] = frame
+                self._build_node_blocks(node)
+            self._stamps[name] = self._db[name].mutation_stamp
 
     # ------------------------------------------------------------------
     # preprocessing internals
@@ -135,7 +253,15 @@ class ConstantDelayEnumerator:
         self._dictionary = columnar_family(reduced.frames.values())
         if self._dictionary is not None:
             self.store_backend = "columnar"
-            self._build_indexes_columnar()
+            self._blocks: Dict[
+                int,
+                Tuple[
+                    List[List[int]],
+                    Dict[Tuple[int, ...], Tuple[int, int]],
+                ],
+            ] = {}
+            for node in self._node_order:
+                self._build_node_blocks(node)
             return
         for node in self._node_order:
             frame = reduced.frames[node]
@@ -148,50 +274,48 @@ class ConstantDelayEnumerator:
                 rows.sort()
             self._indexes[node] = index
 
-    def _build_indexes_columnar(self) -> None:
-        """Adjacency as lexsorted code blocks (zero row decodes).
+    def _build_node_blocks(self, node: int) -> None:
+        """Adjacency of one node as lexsorted code blocks (zero decodes).
 
-        Per node: sort the code matrix with the separator columns as
-        major keys, detect block boundaries vectorized, and map each
-        coded separator key to its ``(start, end)`` slice over a bulk
+        Sort the code matrix with the separator columns as major keys,
+        detect block boundaries vectorized, and map each coded
+        separator key to its ``(start, end)`` slice over a bulk
         ``tolist`` export of the sorted rows.  Block-internal order is
         code order — deterministic, but backend-specific (value order
         would require comparing decoded values, which this phase
-        promises not to do).
+        promises not to do).  Blocks are per-node, which is what lets
+        the maintained refresh rebuild one drifted node in isolation.
         """
         reduced = self._reduced
         assert reduced is not None
-        self._blocks: Dict[
-            int, Tuple[List[List[int]], Dict[Tuple[int, ...], Tuple[int, int]]]
-        ] = {}
-        for node in self._node_order:
-            frame = reduced.frames[node]
-            codes = frame.codes()
-            n, width = codes.shape
-            sep_pos = list(frame.positions(self._sep_vars[node]))
-            if n and width:
-                # Minor keys: the full row (deterministic block order);
-                # major keys (last in the lexsort tuple): separators.
-                keys = [
-                    codes[:, j] for j in range(width - 1, -1, -1)
-                ] + [codes[:, j] for j in reversed(sep_pos)]
-                codes = codes[np.lexsort(tuple(keys))]
-            sep_codes = codes[:, sep_pos] if sep_pos else codes[:, :0]
-            representatives, starts, ends = block_slices(sep_codes)
-            slices = {
-                tuple(rep): (int(start), int(end))
-                for rep, start, end in zip(
-                    representatives.tolist(),
-                    starts.tolist(),
-                    ends.tolist(),
-                )
-            }
-            self._blocks[node] = (codes.tolist(), slices)
+        frame = reduced.frames[node]
+        codes = frame.codes()
+        n, width = codes.shape
+        sep_pos = list(frame.positions(self._sep_vars[node]))
+        if n and width:
+            # Minor keys: the full row (deterministic block order);
+            # major keys (last in the lexsort tuple): separators.
+            keys = [
+                codes[:, j] for j in range(width - 1, -1, -1)
+            ] + [codes[:, j] for j in reversed(sep_pos)]
+            codes = codes[np.lexsort(tuple(keys))]
+        sep_codes = codes[:, sep_pos] if sep_pos else codes[:, :0]
+        representatives, starts, ends = block_slices(sep_codes)
+        slices = {
+            tuple(rep): (int(start), int(end))
+            for rep, start, end in zip(
+                representatives.tolist(),
+                starts.tolist(),
+                ends.tolist(),
+            )
+        }
+        self._blocks[node] = (codes.tolist(), slices)
 
     # ------------------------------------------------------------------
     # enumeration
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[Row]:
+        self._check_fresh()
         if self.mode == "materialized":
             assert self._materialized is not None
             return iter(self._materialized)
@@ -244,11 +368,13 @@ class ConstantDelayEnumerator:
 
         Each answer is decoded individually at yield time — a
         constant-per-answer cost, preserving the delay contract while
-        the preprocessing stays decode-free.
+        the preprocessing stays decode-free.  (Maintained structures
+        skip the full reducer, so a branch can dead-end and backtrack;
+        the answer set is unaffected.)
         """
         reduced = self._reduced
         assert reduced is not None
-        if reduced.is_empty:
+        if reduced.is_empty or not self._node_order:
             return
         order = self._node_order
         head_index = {v: i for i, v in enumerate(self.head)}

@@ -16,6 +16,7 @@ cyclic ones through generic join in Õ(m^{ρ*}).
 """
 
 from repro.semiring.faq import (
+    AggregateMaintainer,
     WeightedDatabase,
     aggregate_acyclic,
     aggregate_frames,
@@ -30,6 +31,7 @@ from repro.semiring.semirings import (
 )
 
 __all__ = [
+    "AggregateMaintainer",
     "BOOLEAN",
     "COUNTING",
     "MAX_PLUS",

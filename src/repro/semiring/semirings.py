@@ -33,6 +33,13 @@ class Semiring:
     ``reduceat``).  :meth:`kernels` falls back to object-dtype
     ``frompyfunc`` wrappers when they are absent, so every semiring is
     usable by the columnar aggregation path.
+
+    ``np_negate``, when provided, is the ⊕-inverse kernel (the semiring
+    is then a *ring* in ⊕, e.g. counting over ℤ).  Incremental
+    maintenance (:class:`repro.semiring.faq.AggregateMaintainer`) uses
+    it to fold tuple *deletions* as negated delta messages; semirings
+    without it (Boolean, tropical — their ⊕ is idempotent and has no
+    inverse) fall back to a full recompute on deletions.
     """
 
     name: str
@@ -43,6 +50,7 @@ class Semiring:
     np_plus: Optional[Any] = None
     np_times: Optional[Any] = None
     np_dtype: Optional[Any] = None
+    np_negate: Optional[Any] = None
 
     def sum(self, values: Iterable[Any]) -> Any:
         """⊕-fold with the correct identity."""
@@ -129,6 +137,7 @@ COUNTING = Semiring(
     np_plus=np.add,
     np_times=np.multiply,
     np_dtype=np.int64,
+    np_negate=np.negative,
 )
 
 # The tropical semiring: ⊕ = min, ⊗ = +.  Aggregating the k-clique join

@@ -1,0 +1,345 @@
+"""Stale-answer-structure regressions and post-update parity.
+
+Before PR 3, :class:`LexDirectAccess`, :class:`ConstantDelayEnumerator`
+and cached FAQ messages snapshotted the relations at preprocessing time
+and kept serving the snapshot after ``add``/``discard`` — silently
+wrong answers, no error.  These tests pin the fix from both sides:
+
+- build → mutate → query now fails fast with
+  :class:`StaleStructureError` on *both* backends (these tests fail on
+  the pre-PR code, which raised nothing);
+- with ``on_stale="refresh"`` / the maintainers, post-update answers
+  are byte-identical to a from-scratch rebuild, across random update
+  streams including delete-everything and re-insert phases.
+"""
+
+import random
+
+import pytest
+
+from repro.counting import count_answers
+from repro.db.database import Database
+from repro.db.interface import StaleStructureError
+from repro.direct_access.lex import LexDirectAccess
+from repro.dynamic import AcyclicCountMaintainer
+from repro.enumeration.constant_delay import ConstantDelayEnumerator
+from repro.query import catalog
+from repro.semiring.faq import (
+    AggregateMaintainer,
+    WeightedDatabase,
+    aggregate_acyclic,
+)
+from repro.semiring.semirings import COUNTING, MIN_PLUS
+
+BACKENDS = ("python", "columnar")
+
+STAR = catalog.star_query_full(2, self_join_free=True)
+STAR_ORDER = ("z", "x1", "x2")
+CHAIN = catalog.path_query(3, boolean=False)
+
+
+def star_db(backend, m=60, domain=8, seed=0):
+    rng = random.Random(seed)
+    return Database.from_dict(
+        {
+            name: [
+                (rng.randrange(domain * 2), rng.randrange(domain))
+                for _ in range(m)
+            ]
+            for name in ("R1", "R2")
+        },
+        backend=backend,
+    )
+
+
+def chain_db(backend, m=60, domain=10, seed=0):
+    rng = random.Random(seed)
+    return Database.from_dict(
+        {
+            f"R{i}": [
+                (rng.randrange(domain), rng.randrange(domain))
+                for _ in range(m)
+            ]
+            for i in (1, 2, 3)
+        },
+        backend=backend,
+    )
+
+
+# ----------------------------------------------------------------------
+# stale reads fail fast (regression: used to silently serve snapshots)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_lex_access_stale_after_add(backend):
+    db = star_db(backend)
+    access = LexDirectAccess(STAR, db, STAR_ORDER)
+    access.access(0)
+    db["R1"].add((999, 0))
+    with pytest.raises(StaleStructureError):
+        access.access(0)
+    with pytest.raises(StaleStructureError):
+        len(access)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_lex_access_stale_after_discard(backend):
+    db = star_db(backend)
+    access = LexDirectAccess(STAR, db, STAR_ORDER)
+    first = access.access(0)
+    db["R1"].discard(next(iter(db["R1"])))
+    with pytest.raises(StaleStructureError):
+        access.access(0)
+    # a rebuilt structure answers (first may or may not still be first)
+    assert LexDirectAccess(STAR, db, STAR_ORDER).access(0) is not None
+    del first
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_enumeration_stale_after_mutation(backend):
+    db = chain_db(backend)
+    enumerator = ConstantDelayEnumerator(CHAIN, db)
+    list(enumerator)
+    db["R2"].add((77, 78))
+    with pytest.raises(StaleStructureError):
+        list(enumerator)
+
+
+def test_materialized_fallback_is_also_stale_checked():
+    # star_query (z projected, self-joins) is not free-connex: the
+    # strict=False materializing fallback must still detect staleness.
+    query = catalog.star_query_sjf(2)
+    db = star_db("columnar")
+    enumerator = ConstantDelayEnumerator(query, db, strict=False)
+    list(enumerator)
+    db["R1"].add((55, 3))
+    with pytest.raises(StaleStructureError):
+        list(enumerator)
+
+
+# ----------------------------------------------------------------------
+# lingering weights (regression: discard left the weight behind)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_discarded_weight_is_purged_not_resurrected(backend):
+    db = Database.from_dict(
+        {"R1": [(1, 2)], "R2": [(1, 2)]}, backend=backend
+    )
+    weighted = WeightedDatabase(db)
+    weighted.set_weight("R1", (1, 2), 7)
+    weighted.discard("R1", (1, 2))
+    db["R1"].add((1, 2))  # re-add the same tuple
+    # The old weight must not resurrect: unweighted tuples are neutral.
+    assert weighted.weight("R1", (1, 2), COUNTING) == COUNTING.one
+    assert (1, 2) not in weighted._weights.get("R1", {})
+    if backend == "columnar":
+        assert weighted.coded_weights("R1") == {}
+    weights = weighted.atom_weight_fn(STAR, COUNTING)
+    assert aggregate_acyclic(STAR, db, COUNTING, weights) == count_answers(
+        STAR, db
+    )
+
+
+def test_weighted_database_stamp_moves_on_weight_changes():
+    db = Database.from_dict({"R1": [(1, 2)], "R2": [(3, 2)]},
+                            backend="columnar")
+    weighted = WeightedDatabase(db)
+    stamp = weighted.mutation_stamp
+    weighted.set_weight("R1", (1, 2), 4)
+    assert weighted.mutation_stamp > stamp
+    stamp = weighted.mutation_stamp
+    weighted.discard("R1", (1, 2))
+    assert weighted.mutation_stamp > stamp
+
+
+# ----------------------------------------------------------------------
+# incremental maintainers track a from-scratch oracle
+# ----------------------------------------------------------------------
+def random_stream(rng, names, domain, steps):
+    for _ in range(steps):
+        name = rng.choice(names)
+        row = (rng.randrange(domain), rng.randrange(domain))
+        yield name, row, rng.random() < 0.45
+
+
+def test_count_maintainer_matches_recompute_over_stream():
+    db = star_db("columnar", m=120, domain=10, seed=5)
+    maintainer = AcyclicCountMaintainer(STAR, db)
+    rng = random.Random(6)
+    for name, row, delete in random_stream(rng, ["R1", "R2"], 22, 250):
+        (db[name].discard if delete else db[name].add)(row)
+        assert maintainer.count() == count_answers(STAR, db)
+    assert maintainer.rebuilds <= 6  # only compaction-driven rebuilds
+
+
+def test_count_maintainer_delete_everything_then_reinsert():
+    db = star_db("columnar", m=25, domain=4, seed=7)
+    maintainer = AcyclicCountMaintainer(STAR, db)
+    for name in ("R1", "R2"):
+        for row in list(db[name]):
+            db[name].discard(row)
+    assert maintainer.count() == 0
+    db["R1"].add((1, 2))
+    db["R2"].add((3, 2))
+    assert maintainer.count() == 1
+
+
+def test_count_maintainer_bulk_rewrite_falls_back_to_rebuild():
+    db = star_db("columnar", m=30, domain=5, seed=8)
+    maintainer = AcyclicCountMaintainer(STAR, db)
+    maintainer.count()
+    rebuilds = maintainer.rebuilds
+    db["R1"].add_all([(100 + i, i % 5) for i in range(200)])  # barrier
+    assert maintainer.count() == count_answers(STAR, db)
+    assert maintainer.rebuilds == rebuilds + 1
+
+
+def test_aggregate_maintainer_requires_join_query_and_columnar():
+    with pytest.raises(ValueError):
+        AggregateMaintainer(
+            catalog.star_query_sjf(2), star_db("columnar"), COUNTING
+        )
+    with pytest.raises(ValueError):
+        AggregateMaintainer(STAR, star_db("python"), COUNTING)
+
+
+def test_weighted_inserts_stay_incremental():
+    db = star_db("columnar", m=40, domain=6, seed=9)
+    weighted = WeightedDatabase(db)
+    maintainer = AggregateMaintainer(STAR, db, COUNTING, weights=weighted)
+
+    def oracle():
+        return aggregate_acyclic(
+            STAR, db, COUNTING, weighted.atom_weight_fn(STAR, COUNTING)
+        )
+
+    assert maintainer.value() == oracle()
+    # Weighted single-tuple inserts fold incrementally: the weight
+    # change rides the tuple's own delta, so no rebuild is needed.
+    for i in range(8):
+        weighted.add("R1", (200 + i, i % 6), weight=3)
+        assert maintainer.value() == oracle()
+    assert maintainer.rebuilds == 0
+    # A retroactive weight change on an already-synced tuple cannot
+    # fold (the stored column is stale) and must rebuild instead.
+    weighted.set_weight("R2", next(iter(db["R2"])), 5)
+    assert maintainer.value() == oracle()
+    assert maintainer.rebuilds == 1
+    # Purge cancelled by a re-add: net tuple delta is empty but the
+    # weight reverted to one — must rebuild, not resurrect.
+    weighted.discard("R1", (200, 0))
+    db["R1"].add((200, 0))
+    assert maintainer.value() == oracle()
+
+
+def test_tropical_maintainer_with_weights_and_delete_fallback():
+    db = Database.from_dict(
+        {"R1": [(1, 2), (3, 2), (4, 5)], "R2": [(6, 2), (7, 5)]},
+        backend="columnar",
+    )
+    weighted = WeightedDatabase(db)
+    weighted.set_weight("R1", (1, 2), 3.5)
+    weighted.set_weight("R2", (6, 2), 1.25)
+    maintainer = AggregateMaintainer(STAR, db, MIN_PLUS, weights=weighted)
+
+    def oracle():
+        return aggregate_acyclic(
+            STAR, db, MIN_PLUS, weighted.atom_weight_fn(STAR, MIN_PLUS)
+        )
+
+    assert maintainer.value() == oracle()
+    weighted.add("R1", (8, 5), weight=0.5)  # insert folds incrementally
+    assert maintainer.value() == oracle()
+    rebuilds = maintainer.rebuilds
+    weighted.discard("R2", (6, 2))  # min has no ⊕-inverse: rebuild
+    assert maintainer.value() == oracle()
+    assert maintainer.rebuilds > rebuilds
+
+
+# ----------------------------------------------------------------------
+# post-update parity: answers == from-scratch rebuild on both backends
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_lex_refresh_parity_over_stream(backend):
+    db = star_db(backend, m=80, domain=7, seed=11)
+    access = LexDirectAccess(STAR, db, STAR_ORDER, on_stale="refresh")
+    rng = random.Random(12)
+    for step, (name, row, delete) in enumerate(
+        random_stream(rng, ["R1", "R2"], 16, 90)
+    ):
+        (db[name].discard if delete else db[name].add)(row)
+        if step % 9 == 0 or step > 84:
+            oracle = LexDirectAccess(STAR, db, STAR_ORDER)
+            assert len(access) == len(oracle)
+            assert access.materialize() == oracle.materialize()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_enumeration_refresh_parity_over_stream(backend):
+    query = CHAIN
+    db = chain_db(backend, m=70, domain=9, seed=13)
+    enumerator = ConstantDelayEnumerator(query, db, on_stale="refresh")
+    rng = random.Random(14)
+    for step, (name, row, delete) in enumerate(
+        random_stream(rng, ["R1", "R2", "R3"], 11, 80)
+    ):
+        (db[name].discard if delete else db[name].add)(row)
+        if step % 8 == 0 or step > 74:
+            oracle = ConstantDelayEnumerator(query, db)
+            assert sorted(enumerator) == sorted(oracle)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_full_pipeline_parity_after_delete_all_and_reinsert(backend):
+    db = star_db(backend, m=40, domain=5, seed=15)
+    access = LexDirectAccess(STAR, db, STAR_ORDER, on_stale="refresh")
+    enumerator = ConstantDelayEnumerator(STAR, db, on_stale="refresh")
+    for name in ("R1", "R2"):
+        for row in list(db[name]):
+            db[name].discard(row)
+    assert len(access) == 0
+    assert list(enumerator) == []
+    assert count_answers(STAR, db) == 0
+    rows1 = [(1, 2), (3, 2), (4, 4)]
+    rows2 = [(5, 2), (6, 4)]
+    for row in rows1:
+        db["R1"].add(row)
+    for row in rows2:
+        db["R2"].add(row)
+    oracle_access = LexDirectAccess(STAR, db, STAR_ORDER)
+    oracle_enum = ConstantDelayEnumerator(STAR, db)
+    assert access.materialize() == oracle_access.materialize()
+    assert sorted(enumerator) == sorted(oracle_enum)
+    assert len(access) == count_answers(STAR, db) == 3
+
+
+def test_lex_refresh_starting_from_empty_relations():
+    db = Database(backend="columnar")
+    for name in ("R1", "R2"):
+        db.add_relation(db.new_relation(name, 2))
+    access = LexDirectAccess(STAR, db, STAR_ORDER, on_stale="refresh")
+    assert len(access) == 0
+    db["R1"].add((1, 0))
+    db["R2"].add((2, 0))
+    assert access.materialize() == [(1, 2, 0)]
+    maintainer = AcyclicCountMaintainer(STAR, db)
+    db["R2"].add((3, 0))
+    assert maintainer.count() == 2
+    assert access.materialize() == [(1, 2, 0), (1, 3, 0)]
+
+
+def test_unary_join_query_refresh_parity():
+    query = catalog.ConjunctiveQuery(
+        ("x",),
+        (catalog.Atom("R", ("x",)), catalog.Atom("S", ("x",))),
+        name="unary_intersection",
+    )
+    db = Database(backend="columnar")
+    db.add_relation(db.new_relation("R", 1, [(i,) for i in range(6)]))
+    db.add_relation(db.new_relation("S", 1, [(i,) for i in range(3, 9)]))
+    access = LexDirectAccess(query, db, ("x",), on_stale="refresh")
+    maintainer = AcyclicCountMaintainer(query, db)
+    assert access.materialize() == [(3,), (4,), (5,)]
+    db["R"].add((7,))
+    db["S"].discard((4,))
+    assert access.materialize() == [(3,), (5,), (7,)]
+    assert maintainer.count() == 3 == count_answers(query, db)
