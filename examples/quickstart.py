@@ -1,16 +1,22 @@
-"""Quickstart: parse a query, classify it, and run every evaluation task.
+"""Quickstart: the unified query engine.
+
+One prepared query serves every evaluation task the paper's
+dichotomies allow: the session classifies the query, plans the
+cheapest admissible pipeline per capability (with the theorem
+citations in ``explain()``), and keeps the answers live under
+updates — no hand-wiring of counters, enumerators, or accessors.
+
+The low-level single-algorithm API is still public; see
+``examples/ranked_paging.py`` for direct use of
+:class:`repro.LexDirectAccess` / :class:`repro.SumOrderDirectAccess`,
+and ``examples/engine_serving.py`` for a serving workload (paged
+reads interleaved with an update stream) on this facade.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    ConstantDelayEnumerator,
-    LexDirectAccess,
-    classify,
-    count_answers,
-    parse_query,
-)
-from repro.joins.yannakakis import yannakakis_boolean
+from repro import Session, parse_query
+from repro.semiring.semirings import COUNTING
 from repro.workloads import random_database
 
 
@@ -18,39 +24,42 @@ def main() -> None:
     # A free-connex acyclic query: follows the paper's running theme
     # that the head shape decides tractability.
     query = parse_query("q(person, city) :- Lives(person, city), Hub(city)")
-    print("Query:", query)
-    print()
-
-    # 1. Classify: which side of each dichotomy is this query on?
-    print(classify(query).render())
-    print()
-
-    # 2. Build a random database and evaluate.
     db = random_database(query, tuples_per_relation=500, domain_size=80, seed=42)
-    print(f"database size m = {db.size()} tuples")
+    session = Session(db)
+    print(f"database size m = {session.size()} tuples")
+    print()
 
-    # Boolean: is there any answer?  (Theorem 3.1, linear time.)
-    satisfiable = yannakakis_boolean(query.as_boolean(), db)
-    print("satisfiable:", satisfiable)
+    # Prepare once: classify -> plan -> serving handle.  The plan
+    # quotes the dichotomy theorems behind every pipeline choice.
+    prepared = session.prepare(query, order=("city", "person"))
+    print(prepared.explain())
+    print()
 
-    # Counting: how many answers?  (Theorem 3.13, linear time.)
-    print("count:", count_answers(query, db))
+    answers = prepared.run()
 
-    # Enumeration: stream answers with constant delay (Theorem 3.17).
-    enumerator = ConstantDelayEnumerator(query, db)
-    first_five = []
-    for answer in enumerator:
-        first_five.append(answer)
-        if len(first_five) == 5:
-            break
-    print("first five answers:", first_five)
+    # Counting (Theorem 3.13, linear time).
+    total = len(answers)
+    print("count:", total)
 
-    # Direct access: jump straight to the middle of the sorted result
-    # (Theorem 3.24 / Corollary 3.22).
-    accessor = LexDirectAccess(query, db, order=("city", "person"))
-    total = len(accessor)
-    print(f"direct access: {total} answers;",
-          f"median answer = {accessor.access(total // 2)}")
+    # Constant-delay enumeration (Theorem 3.17): stream the first few.
+    print("first five answers:", answers.first(5))
+
+    # Direct access (Theorem 3.24 / Corollary 3.22): jump straight to
+    # the middle of the (city > person)-sorted result, or grab a page.
+    print("median answer:", answers[total // 2])
+    print("a page:", answers.page(offset=total // 2, size=3))
+
+    # Semiring aggregation (Section 4.1.2).
+    print("aggregate (counting semiring):", answers.aggregate(COUNTING))
+
+    # Updates flow through the session; the prepared query never goes
+    # stale (PR 3's delta maintenance underneath).
+    hub_city = answers[0][1]  # answers are (person, city) head tuples
+    session.discard("Hub", (hub_city,))
+    print(f"after dropping hub {hub_city!r}: count = {len(answers)}")
+    session.add("Hub", (hub_city,))
+    print(f"after restoring it:         count = {len(answers)}")
+    assert len(answers) == total
 
 
 if __name__ == "__main__":

@@ -9,6 +9,12 @@ trio (Theorem 3.24); the score ranking works because one atom covers
 all variables after a rewrite — here we demonstrate the single-atom
 case of Theorem 3.26.
 
+This example drives the *low-level* API on purpose — constructing
+:class:`repro.LexDirectAccess` / :class:`repro.SumOrderDirectAccess`
+by hand.  For the facade that plans these pipelines automatically
+(and keeps them live under updates) see ``examples/quickstart.py``
+and ``examples/engine_serving.py`` (:mod:`repro.engine`).
+
 Run:  python examples/ranked_paging.py
 """
 

@@ -3,9 +3,39 @@
 
 The package implements, from scratch, every algorithm the survey states
 an upper bound for and every fine-grained reduction it proves, plus the
-dichotomy classifiers the theorems induce.  Subpackages:
+dichotomy classifiers the theorems induce — and, on top of them, a
+unified query engine that does the dichotomy dispatch for you.
 
-- :mod:`repro.db` — relations and databases;
+Which API do I want?
+====================
+
+===================================  =======================================
+I want to...                         use
+===================================  =======================================
+serve a query (count / pages /       :func:`connect` → :meth:`Session.
+stream / aggregate) without          prepare` → :class:`AnswerSet` — the
+picking algorithms                   engine classifies, plans, and stays
+                                     live under updates
+see *why* a pipeline was chosen      :meth:`PreparedQuery.explain` (the
+(theorems, costs, backend)           plan) or :func:`classify` (the full
+                                     dichotomy report)
+call one algorithm directly          the low-level entry points the engine
+(benchmarks, experiments)            wraps: :func:`count_answers`,
+                                     :class:`ConstantDelayEnumerator`,
+                                     :class:`LexDirectAccess`,
+                                     :mod:`repro.joins`,
+                                     :mod:`repro.semiring`
+maintain one aggregate under         :class:`HierarchicalCountMaintainer`
+updates, no serving facade           / :mod:`repro.dynamic`
+build inputs                         :class:`Database`, :func:`parse_query`,
+                                     :mod:`repro.workloads`
+===================================  =======================================
+
+Subpackages:
+
+- :mod:`repro.engine` — Session / PreparedQuery / AnswerSet facade with
+  classifier-driven planning (the primary public API);
+- :mod:`repro.db` — relations and databases (python + columnar backends);
 - :mod:`repro.query` — conjunctive query syntax, parser, catalog;
 - :mod:`repro.hypergraph` — acyclicity, join trees, free-connexness,
   disruptive trios, Brault-Baron witnesses, star size, AGM exponents;
@@ -16,17 +46,19 @@ dichotomy classifiers the theorems induce.  Subpackages:
 - :mod:`repro.enumeration` — constant-delay enumeration;
 - :mod:`repro.direct_access` — lexicographic / sum-order direct access,
   testing;
+- :mod:`repro.dynamic` — maintained counts under updates;
 - :mod:`repro.solvers` — reference solvers for the source problems;
 - :mod:`repro.reductions` — the paper's fine-grained reductions;
 - :mod:`repro.classify` — the dichotomy classifier;
 - :mod:`repro.workloads` — seeded instance generators;
 - :mod:`repro.util` — timing and scaling-exponent estimation.
 
-Quickstart::
+Quickstart (the engine; ``examples/quickstart.py`` for the full tour)::
 
-    from repro import parse_query, classify
-    q = parse_query("q(x1, x2) :- R1(x1, z), R2(x2, z)")
-    print(classify(q).render())
+    from repro import connect
+    session = connect({"R1": [(1, 2)], "R2": [(3, 2)]})
+    answers = session.prepare("q(x1, x2) :- R1(x1, z), R2(x2, z)").run()
+    print(len(answers), answers[:5])
 """
 
 from repro.classify import QueryClassification, TaskVerdict, classify
@@ -38,6 +70,13 @@ from repro.direct_access import (
     SumOrderDirectAccess,
     TestingOracle,
 )
+from repro.engine import (
+    AnswerSet,
+    Plan,
+    PreparedQuery,
+    Session,
+    connect,
+)
 from repro.enumeration import ConstantDelayEnumerator
 from repro.hypergraph import (
     Hypergraph,
@@ -48,9 +87,10 @@ from repro.hypergraph import (
 )
 from repro.query import Atom, ConjunctiveQuery, catalog, parse_query
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AnswerSet",
     "Atom",
     "ConjunctiveQuery",
     "ConstantDelayEnumerator",
@@ -58,13 +98,17 @@ __all__ = [
     "HierarchicalCountMaintainer",
     "Hypergraph",
     "LexDirectAccess",
+    "Plan",
+    "PreparedQuery",
     "QueryClassification",
     "Relation",
+    "Session",
     "SumOrderDirectAccess",
     "TaskVerdict",
     "TestingOracle",
     "catalog",
     "classify",
+    "connect",
     "count_answers",
     "is_acyclic",
     "is_free_connex",

@@ -61,10 +61,23 @@ class QueryClassification:
 
     def verdict(self, task: str) -> TaskVerdict:
         """Look up one task's verdict by name."""
+        found = self.find(task)
+        if found is None:
+            raise KeyError(f"no verdict for task {task!r}")
+        return found
+
+    def find(self, task: str) -> Optional[TaskVerdict]:
+        """Like :meth:`verdict`, but ``None`` when the task is absent.
+
+        Used by the engine planner's access route
+        (:mod:`repro.engine.planner`) to quote a verdict's theorem
+        when present and degrade to a default citation otherwise,
+        instead of propagating :class:`KeyError` into planning.
+        """
         for verdict in self.verdicts:
             if verdict.task == task:
                 return verdict
-        raise KeyError(f"no verdict for task {task!r}")
+        return None
 
     def render(self) -> str:
         """A human-readable multi-line report."""

@@ -12,6 +12,10 @@ columnar database the whole count is an array program (weight columns,
 segment reduces) with zero per-row decodes — the easy side of the
 dichotomy then runs at hardware speed (``bench_a07``), while the hard
 side still pays its superlinear enumeration.
+
+:func:`count_answers` is the low-level dispatcher; the engine facade
+(:mod:`repro.engine`) calls it (or an incremental maintainer) behind
+``AnswerSet.count()``.
 """
 
 from __future__ import annotations

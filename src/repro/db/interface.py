@@ -78,9 +78,17 @@ only on effective changes.
 from __future__ import annotations
 
 from abc import ABC
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
 BACKENDS = ("python", "columnar")
+
+# Input size (total tuples) above which the vectorized columnar backend
+# amortizes its encoding overhead.  Below it, the python backend's
+# hash sets win on constant factors (single-tuple lookups, tiny joins);
+# above it, the array programs are 15-90x faster (ROADMAP, PR 1/2).
+# The engine planner (repro.engine) uses this as its default backend
+# cutoff; callers can override per session or per prepare() call.
+DEFAULT_COLUMNAR_CUTOFF = 2048
 
 
 def check_backend(backend: str) -> str:
@@ -90,6 +98,27 @@ def check_backend(backend: str) -> str:
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     return backend
+
+
+def preferred_backend(
+    size: int,
+    stored_backend: str = "python",
+    cutoff: Optional[int] = None,
+) -> str:
+    """The execution backend the planner prefers for an input size.
+
+    A database already stored columnar stays columnar (its relations
+    are encoded; decoding buys nothing).  A python-backed database is
+    promoted to columnar execution once it holds at least ``cutoff``
+    tuples (default :data:`DEFAULT_COLUMNAR_CUTOFF`) — the regime the
+    benchmark trajectory shows the array programs winning in.
+    """
+    check_backend(stored_backend)
+    if cutoff is None:
+        cutoff = DEFAULT_COLUMNAR_CUTOFF
+    if stored_backend == "columnar":
+        return "columnar"
+    return "columnar" if size >= cutoff else "python"
 
 
 class StaleStructureError(RuntimeError):

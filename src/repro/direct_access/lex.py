@@ -49,6 +49,11 @@ been cheaper anyway.
 When no layered tree exists (a disruptive trio), the ``strict=False``
 fallback materializes and sorts the whole result — the superlinear
 preprocessing that Lemma 3.23 proves necessary.
+
+This is the low-level entry point; the engine facade
+(:mod:`repro.engine`) plans it behind ``AnswerSet.__getitem__`` when
+the order is admissible — see ``examples/quickstart.py`` (facade) vs
+``examples/ranked_paging.py`` (direct low-level use).
 """
 
 from __future__ import annotations

@@ -16,7 +16,14 @@ group-merges per updated tuple; see
 semiring form and the rebuild fallbacks).
 """
 
-from repro.dynamic.acyclic_count import AcyclicCountMaintainer
+from repro.dynamic.acyclic_count import (
+    AcyclicCountMaintainer,
+    maintained_count,
+)
 from repro.dynamic.hierarchical_count import HierarchicalCountMaintainer
 
-__all__ = ["AcyclicCountMaintainer", "HierarchicalCountMaintainer"]
+__all__ = [
+    "AcyclicCountMaintainer",
+    "HierarchicalCountMaintainer",
+    "maintained_count",
+]

@@ -56,3 +56,27 @@ class AcyclicCountMaintainer:
     def rebuilds(self) -> int:
         """Full rebuilds performed (incremental-path misses)."""
         return self._aggregate.rebuilds
+
+
+def maintained_count(
+    query: ConjunctiveQuery,
+    db: Database,
+    tree: Optional[JoinTree] = None,
+) -> Optional[AcyclicCountMaintainer]:
+    """An :class:`AcyclicCountMaintainer` when one is admissible, else None.
+
+    Encapsulates the applicability check the engine planner
+    (:mod:`repro.engine`) needs: incremental count maintenance requires
+    an acyclic *join* query over a columnar database whose relations
+    share one dictionary.  Projected, cyclic, or python-backed inputs
+    return ``None`` and the caller serves counts by (stamp-cached)
+    recomputation instead — still live under updates, just not
+    incremental.
+    """
+    if not query.is_join_query():
+        return None
+    try:
+        return AcyclicCountMaintainer(query, db, tree=tree)
+    except ValueError:
+        # Cyclic hypergraph (no join tree) or non-columnar relations.
+        return None

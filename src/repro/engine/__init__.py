@@ -1,0 +1,51 @@
+"""The unified query engine: classify once, plan once, serve forever.
+
+This package is the repo's primary public API.  The paper's central
+message is that a conjunctive query's *structure* decides which
+evaluation guarantees are attainable; the engine does that dispatch so
+callers stop doing it by hand::
+
+    from repro import connect
+
+    session = connect({"Lives": [...], "Hub": [...]})
+    prepared = session.prepare(
+        "q(person, city) :- Lives(person, city), Hub(city)"
+    )
+    print(prepared.explain())       # pipelines + theorems + rationale
+    answers = prepared.run()        # uniform lazy AnswerSet
+    len(answers)                    # dichotomy-optimal counting
+    answers[10:20]                  # paging via lex direct access
+    next(iter(answers))             # constant-delay enumeration
+    answers.aggregate(MIN_PLUS)     # FAQ semiring aggregation
+    session.add("Hub", ("paris",))  # prepared queries stay live
+
+Layers:
+
+- :mod:`repro.engine.planner` — :func:`plan_query` turns one
+  :func:`repro.classify.classify` pass into a :class:`Plan`: a
+  pipeline route per capability with the theorem citations and cost
+  expressions quoted from the classifier's verdicts, plus the
+  execution-backend choice (columnar above a size cutoff).
+- :mod:`repro.engine.prepared` — :class:`PreparedQuery` (lazy, cached
+  answer structures; live under updates) and :class:`AnswerSet` (the
+  uniform ``len`` / iterate / ``[i]`` / slice / aggregate handle).
+- :mod:`repro.engine.session` — :class:`Session` / :func:`connect`:
+  database ownership, update flow, and backend mirrors.
+
+The low-level pipelines remain public and are what the engine runs
+underneath — see the "which API do I want" table in :mod:`repro`.
+"""
+
+from repro.engine.planner import Plan, PlanRoute, plan_query
+from repro.engine.prepared import AnswerSet, PreparedQuery
+from repro.engine.session import Session, connect
+
+__all__ = [
+    "AnswerSet",
+    "Plan",
+    "PlanRoute",
+    "PreparedQuery",
+    "Session",
+    "connect",
+    "plan_query",
+]

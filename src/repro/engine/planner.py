@@ -1,0 +1,416 @@
+"""Classifier-driven query planning for the engine facade.
+
+The paper's dichotomies decide, from a query's *structure* alone, which
+evaluation pipeline meets its best possible bounds — Yannakakis for
+Boolean acyclic queries (Theorem 3.1), FAQ message passing for
+free-connex counting (Theorem 3.13), constant-delay enumeration
+(Theorem 3.17), lexicographic direct access over a layered join tree
+(Theorem 3.24 / Corollary 3.22), and worst-case-optimal joins as the
+cyclic fallback (Theorem 3.7).  :func:`plan_query` turns one
+:func:`repro.classify.classify` pass into an executable :class:`Plan`:
+one route per serving capability (``decide`` / ``count`` / ``iterate``
+/ ``access`` / ``aggregate``), each quoting the theorem and cost
+expression of the corresponding :class:`repro.classify.report.
+TaskVerdict`, plus the chosen execution backend (columnar above
+:data:`repro.db.interface.DEFAULT_COLUMNAR_CUTOFF` tuples, python
+below).
+
+The planner never reads tuples: order admissibility is decided from
+the reduced bag family
+(:func:`repro.hypergraph.freeconnex.free_variable_bags` fed to
+:func:`repro.direct_access.layered.find_layered_tree`), so the plan —
+and :meth:`Plan.render`, the ``explain()`` text — is a pure function
+of (query, order, backend, input size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from repro.classify.classifier import classify
+from repro.classify.report import QueryClassification
+from repro.db.interface import DEFAULT_COLUMNAR_CUTOFF, preferred_backend
+from repro.direct_access.layered import find_layered_tree
+from repro.hypergraph.freeconnex import free_variable_bags
+from repro.hypergraph.trios import trio_free_order
+from repro.query.cq import ConjunctiveQuery
+
+# Exhaustive layered-order search is capped at this many head
+# variables (4! = 24 admissibility checks); larger heads fall back to
+# the head order plus the trio-free candidate.
+_MAX_ORDER_SEARCH = 4
+
+# Plan families — which serving shape the query admits.
+BOOLEAN = "boolean"
+FREE_CONNEX = "free-connex"
+ACYCLIC_MATERIALIZE = "acyclic-materialize"
+CYCLIC_MATERIALIZE = "cyclic-materialize"
+
+
+@dataclass(frozen=True)
+class PlanRoute:
+    """One capability's chosen pipeline, with its complexity pedigree.
+
+    ``cost`` and ``theorem`` are quoted from the classifier's
+    :class:`~repro.classify.report.TaskVerdict` for the matching task
+    wherever one exists, so the plan's claims stay in sync with the
+    dichotomy reports.
+    """
+
+    capability: str
+    algorithm: str
+    cost: str
+    theorem: str
+    note: str = ""
+
+    def render(self) -> str:
+        line = (
+            f"  {self.capability:<9} via {self.algorithm}"
+            f" -- {self.cost} [{self.theorem}]"
+        )
+        if self.note:
+            line += f"\n{'':13} note: {self.note}"
+        return line
+
+
+@dataclass
+class Plan:
+    """An executable serving plan for one prepared query."""
+
+    query_text: str
+    family: str
+    backend: str
+    backend_reason: str
+    order: Optional[Tuple[str, ...]]
+    access_admissible: bool
+    maintained_count: bool
+    classification: QueryClassification
+    routes: Tuple[PlanRoute, ...]
+
+    def route(self, capability: str) -> PlanRoute:
+        """Look up one capability's route by name."""
+        for route in self.routes:
+            if route.capability == capability:
+                return route
+        raise KeyError(f"no route for capability {capability!r}")
+
+    def render(self) -> str:
+        """The human-readable plan — ``PreparedQuery.explain()``."""
+        c = self.classification
+        lines = [
+            f"plan for {self.query_text}",
+            f"  family:   {self.family}",
+            f"  backend:  {self.backend} ({self.backend_reason})",
+            (
+                f"  structure: acyclic={c.acyclic}"
+                f" free-connex={c.free_connex}"
+                f" self-join-free={c.self_join_free}"
+                f" rho*={c.agm_exponent:.3f}"
+            ),
+        ]
+        if self.order is not None:
+            lines.append(f"  order:    {' > '.join(self.order)}")
+        for route in self.routes:
+            lines.append(route.render())
+        if self.maintained_count:
+            updates = (
+                "session.add/discard fold delta messages into the "
+                "maintained structures (O(depth) per tuple)"
+            )
+        else:
+            updates = (
+                "session.add/discard bump mutation stamps; served "
+                "structures refresh or recompute before answering"
+            )
+        lines.append(f"  updates:  {updates}")
+        return "\n".join(lines)
+
+
+def _choose_order(
+    query: ConjunctiveQuery,
+    bags: Optional[Dict[int, FrozenSet[str]]],
+) -> Tuple[Tuple[str, ...], bool]:
+    """A lexicographic order for the head, preferring admissible ones.
+
+    Candidates: the head as written, the trio-free order of the query
+    (join queries; [27] ties trio-freeness to layered-tree existence),
+    then — for small heads — every permutation.  Returns the first
+    order admitting a layered join tree over the reduced bags, or
+    ``(head, False)`` when none does (access then materializes).
+    """
+    head = tuple(query.head)
+    if bags is None:
+        return head, False
+    candidates = [head]
+    if query.is_join_query():
+        trio_free = trio_free_order(query)
+        if trio_free is not None:
+            candidates.append(tuple(trio_free))
+    if len(head) <= _MAX_ORDER_SEARCH:
+        candidates.extend(permutations(head))
+    seen = set()
+    for candidate in candidates:
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        if find_layered_tree(bags, candidate) is not None:
+            return candidate, True
+    return head, False
+
+
+def plan_query(
+    query: ConjunctiveQuery,
+    size: int,
+    stored_backend: str = "python",
+    order: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
+    cutoff: Optional[int] = None,
+) -> Plan:
+    """Classify ``query`` and select pipelines for every capability.
+
+    ``size``/``stored_backend`` describe the input (for the backend
+    cutoff); ``order`` fixes the lexicographic access order (default:
+    the planner searches for an admissible one); ``backend`` forces
+    the execution backend.  Pure — no relation is read.
+    """
+    classification = classify(query)
+    if backend is not None:
+        chosen = backend
+        reason = "forced by caller"
+    else:
+        chosen = preferred_backend(size, stored_backend, cutoff)
+        cut = DEFAULT_COLUMNAR_CUTOFF if cutoff is None else cutoff
+        if stored_backend == "columnar":
+            reason = "database already columnar"
+        elif chosen == "columnar":
+            reason = f"m={size} >= cutoff {cut}"
+        else:
+            reason = f"m={size} < cutoff {cut}"
+
+    if query.is_boolean():
+        if order is not None:
+            raise ValueError("Boolean queries admit no answer order")
+        return _plan_boolean(query, classification, chosen, reason)
+
+    head = tuple(query.head)
+    bags = (
+        free_variable_bags(query) if classification.free_connex else None
+    )
+    if order is not None:
+        chosen_order = tuple(order)
+        if sorted(chosen_order) != sorted(head):
+            raise ValueError(
+                f"order {chosen_order} must be a permutation of the "
+                f"head variables {head}"
+            )
+        admissible = (
+            bags is not None
+            and find_layered_tree(bags, chosen_order) is not None
+        )
+    else:
+        chosen_order, admissible = _choose_order(query, bags)
+
+    if classification.free_connex:
+        family = FREE_CONNEX
+    elif classification.acyclic:
+        family = ACYCLIC_MATERIALIZE
+    else:
+        family = CYCLIC_MATERIALIZE
+    maintained = (
+        family == FREE_CONNEX
+        and query.is_join_query()
+        and chosen == "columnar"
+    )
+    routes = (
+        _count_route(query, classification, family, maintained),
+        _iterate_route(classification, family),
+        _access_route(classification, family, chosen_order, admissible),
+        _aggregate_route(query, classification, family, maintained),
+    )
+    return Plan(
+        query_text=str(query),
+        family=family,
+        backend=chosen,
+        backend_reason=reason,
+        order=chosen_order,
+        access_admissible=admissible,
+        maintained_count=maintained,
+        classification=classification,
+        routes=routes,
+    )
+
+
+def _plan_boolean(
+    query: ConjunctiveQuery,
+    classification: QueryClassification,
+    backend: str,
+    reason: str,
+) -> Plan:
+    verdict = classification.verdict("boolean")
+    if classification.acyclic:
+        algorithm = "Yannakakis semijoin reduction"
+    else:
+        algorithm = "worst-case-optimal join, first-witness early exit"
+    decide = PlanRoute(
+        capability="decide",
+        algorithm=algorithm,
+        cost=verdict.upper_bound,
+        theorem=verdict.theorem,
+    )
+    counting = classification.verdict("counting")
+    count = PlanRoute(
+        capability="count",
+        algorithm="decide, then 0/1",
+        cost=counting.upper_bound,
+        theorem=counting.theorem,
+    )
+    return Plan(
+        query_text=str(query),
+        family=BOOLEAN,
+        backend=backend,
+        backend_reason=reason,
+        order=None,
+        access_admissible=False,
+        maintained_count=False,
+        classification=classification,
+        routes=(decide, count),
+    )
+
+
+def _count_route(
+    query: ConjunctiveQuery,
+    classification: QueryClassification,
+    family: str,
+    maintained: bool,
+) -> PlanRoute:
+    verdict = classification.verdict("counting")
+    if family == FREE_CONNEX:
+        if maintained:
+            algorithm = (
+                "FAQ message passing (counting semiring), "
+                "incrementally maintained"
+            )
+        else:
+            algorithm = "free-connex FAQ message passing"
+        return PlanRoute(
+            capability="count",
+            algorithm=algorithm,
+            cost=verdict.upper_bound,
+            theorem=verdict.theorem,
+        )
+    return PlanRoute(
+        capability="count",
+        algorithm="materialize and count",
+        cost=verdict.upper_bound,
+        theorem=verdict.theorem,
+        note=verdict.note,
+    )
+
+
+def _iterate_route(
+    classification: QueryClassification, family: str
+) -> PlanRoute:
+    verdict = classification.verdict("enumeration")
+    if family == FREE_CONNEX:
+        return PlanRoute(
+            capability="iterate",
+            algorithm="constant-delay enumeration",
+            cost=verdict.upper_bound,
+            theorem=verdict.theorem,
+        )
+    return PlanRoute(
+        capability="iterate",
+        algorithm="materialize, then stream in order",
+        cost=verdict.upper_bound,
+        theorem=verdict.theorem,
+        note=(
+            "no constant-delay guarantee: the query is not free-connex,"
+            " so linear preprocessing with constant delay is ruled out"
+            " on the hard side of the enumeration dichotomy"
+        ),
+    )
+
+
+def _access_route(
+    classification: QueryClassification,
+    family: str,
+    order: Tuple[str, ...],
+    admissible: bool,
+) -> PlanRoute:
+    verdict = classification.find("direct-access")
+    theorem = (
+        verdict.theorem if verdict is not None
+        else "Theorem 3.18 / Corollary 3.22"
+    )
+    rendered = " > ".join(order)
+    if admissible:
+        return PlanRoute(
+            capability="access",
+            algorithm=f"lex direct access on ({rendered})",
+            cost="Õ(m) preprocessing + Õ(log m) per access",
+            theorem="Theorem 3.24 / Corollary 3.22",
+        )
+    sort_cost = "O(output) preprocessing (sort), O(1) per access"
+    if family == FREE_CONNEX:
+        return PlanRoute(
+            capability="access",
+            algorithm="materialize and sort",
+            cost=sort_cost,
+            theorem="Theorem 3.24 / Lemma 3.23",
+            note=(
+                f"order ({rendered}) admits no layered join tree "
+                "(disruptive trio); pages are served from the sorted "
+                "materialization"
+            ),
+        )
+    return PlanRoute(
+        capability="access",
+        algorithm="materialize and sort",
+        cost=sort_cost,
+        theorem=theorem,
+        note=(
+            "no constant-delay guarantee: superlinear preprocessing is"
+            " unavoidable for non-free-connex queries"
+        ),
+    )
+
+
+def _aggregate_route(
+    query: ConjunctiveQuery,
+    classification: QueryClassification,
+    family: str,
+    maintained: bool,
+) -> PlanRoute:
+    if query.is_join_query() and classification.acyclic:
+        algorithm = "FAQ semiring message passing"
+        if maintained:
+            algorithm += ", incrementally maintained"
+        return PlanRoute(
+            capability="aggregate",
+            algorithm=algorithm,
+            cost="Õ(m)",
+            theorem="Section 4.1.2 / [59]",
+        )
+    if query.is_join_query():
+        return PlanRoute(
+            capability="aggregate",
+            algorithm="worst-case-optimal join + fold",
+            cost=f"Õ(m^{classification.agm_exponent:.3f})",
+            theorem="Section 4.1.2",
+        )
+    if family == FREE_CONNEX:
+        return PlanRoute(
+            capability="aggregate",
+            algorithm="free-connex reduction + FAQ (unit weights)",
+            cost="Õ(m)",
+            theorem="Theorem 3.13 / Section 4.1.2",
+        )
+    return PlanRoute(
+        capability="aggregate",
+        algorithm="fold over materialized answers (unit weights)",
+        cost="O(full-join size)",
+        theorem="Section 4.1.2",
+        note="projected non-free-connex query: aggregate = fold of 1s",
+    )

@@ -1,0 +1,183 @@
+"""The :class:`Session`: the engine's front door.
+
+A session owns a :class:`~repro.db.database.Database`, prepares
+queries against it, and funnels updates to every execution copy, so
+prepared queries stay live::
+
+    from repro import connect
+
+    session = connect({"R": [(1, 2)], "S": [(2, 3)]})
+    prepared = session.prepare("q(x, y) :- R(x, z), S(z, y)")
+    answers = prepared.run()
+    len(answers); answers[0]; list(answers)
+    session.add("R", (1, 9)); session.discard("S", (2, 3))
+    len(answers)            # reflects the updates, never stale
+
+**Execution backends and mirrors.**  The planner picks the execution
+backend per prepared query (columnar above
+:data:`repro.db.interface.DEFAULT_COLUMNAR_CUTOFF` total tuples,
+python below; override with ``prepare(backend=...)`` or the session's
+``columnar_cutoff``).  When the chosen backend differs from the stored
+one, the session materializes a *mirror* — a one-time
+:meth:`~repro.db.database.Database.to_backend` conversion — and keeps
+it in sync by applying every :meth:`add` / :meth:`discard` to the
+primary and all mirrors.  Updates must therefore flow through the
+session; mutating ``session.db`` relations directly while a mirror
+exists desynchronizes the mirror (prepared queries on the primary
+still self-repair through their mutation stamps).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from repro.db.database import Database
+from repro.db.interface import (
+    DEFAULT_COLUMNAR_CUTOFF,
+    check_backend,
+)
+from repro.engine.planner import plan_query
+from repro.engine.prepared import AnswerSet, PreparedQuery
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.semiring.semirings import Semiring
+
+QueryLike = Union[str, ConjunctiveQuery]
+
+
+class Session:
+    """Prepared-query serving over one database.
+
+    ``db`` may be a :class:`Database`, a ``{name: rows}`` mapping
+    (converted via :meth:`Database.from_dict`), or ``None`` for an
+    empty database; ``backend`` selects the stored backend in the
+    latter two cases.  ``columnar_cutoff`` tunes the planner's
+    backend switchover point.
+    """
+
+    def __init__(
+        self,
+        db: Union[Database, Mapping, None] = None,
+        backend: str = "python",
+        columnar_cutoff: int = DEFAULT_COLUMNAR_CUTOFF,
+    ) -> None:
+        check_backend(backend)
+        if db is None:
+            db = Database(backend=backend)
+        elif isinstance(db, Mapping):
+            db = Database.from_dict(db, backend=backend)
+        elif not isinstance(db, Database):
+            raise TypeError(
+                f"db must be a Database, a mapping, or None; got "
+                f"{type(db).__name__}"
+            )
+        self.db = db
+        self.columnar_cutoff = columnar_cutoff
+        self._mirrors: dict = {}
+
+    # ------------------------------------------------------------------
+    # preparing and running queries
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        query: QueryLike,
+        order: Optional[Sequence[str]] = None,
+        semiring: Optional[Semiring] = None,
+        backend: Optional[str] = None,
+    ) -> PreparedQuery:
+        """Classify, plan, and return a live :class:`PreparedQuery`.
+
+        ``query`` is datalog-style text or a parsed
+        :class:`ConjunctiveQuery`; ``order`` fixes the paging order
+        (default: the planner finds an admissible one); ``semiring``
+        sets the default for ``AnswerSet.aggregate()``; ``backend``
+        forces the execution backend.  Relations the query mentions
+        are created empty when absent, so serving can start before
+        ingestion.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        if backend is not None:
+            check_backend(backend)
+        self._ensure_relations(query)
+        plan = plan_query(
+            query,
+            size=self.db.size(),
+            stored_backend=self.db.backend,
+            order=order,
+            backend=backend,
+            cutoff=self.columnar_cutoff,
+        )
+        execution_db = self._execution_db(plan.backend)
+        return PreparedQuery(self, query, plan, execution_db, semiring)
+
+    def execute(self, query: QueryLike, **kwargs) -> AnswerSet:
+        """``prepare(...).run()`` in one call (ad-hoc queries)."""
+        return self.prepare(query, **kwargs).run()
+
+    # ------------------------------------------------------------------
+    # updates (the only supported mutation path)
+    # ------------------------------------------------------------------
+    def add(self, relation: str, row: Iterable) -> None:
+        """Insert one tuple, in the primary database and all mirrors."""
+        row = tuple(row)
+        for db in self._all_databases():
+            db.ensure_relation(relation, len(row)).add(row)
+
+    def discard(self, relation: str, row: Iterable) -> None:
+        """Delete one tuple (no-op when absent), everywhere."""
+        row = tuple(row)
+        for db in self._all_databases():
+            if relation in db:
+                db[relation].discard(row)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Total tuples in the primary database (the paper's ``m``)."""
+        return self.db.size()
+
+    def relation(self, name: str):
+        """The primary database's relation (read-only by convention)."""
+        return self.db[name]
+
+    @property
+    def backends(self) -> tuple:
+        """Backends with a live execution copy (primary first)."""
+        return (self.db.backend, *self._mirrors.keys())
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _all_databases(self):
+        yield self.db
+        yield from self._mirrors.values()
+
+    def _ensure_relations(self, query: ConjunctiveQuery) -> None:
+        for atom in query.atoms:
+            for db in self._all_databases():
+                db.ensure_relation(atom.relation, atom.arity)
+
+    def _execution_db(self, backend: str) -> Database:
+        if backend == self.db.backend:
+            return self.db
+        mirror = self._mirrors.get(backend)
+        if mirror is None:
+            mirror = self.db.to_backend(backend)
+            self._mirrors[backend] = mirror
+        return mirror
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session({self.db!r}, cutoff={self.columnar_cutoff})"
+        )
+
+
+def connect(
+    db: Union[Database, Mapping, None] = None,
+    backend: str = "python",
+    columnar_cutoff: int = DEFAULT_COLUMNAR_CUTOFF,
+) -> Session:
+    """Open a :class:`Session` (the engine's ``connect(...)`` idiom)."""
+    return Session(db, backend=backend, columnar_cutoff=columnar_cutoff)

@@ -40,6 +40,12 @@ Non-join or non-columnar inputs refresh by full rebuild.
 For non-free-connex queries, ``strict=False`` switches to a
 materialize-first fallback whose preprocessing is the full evaluation —
 the superlinear behaviour that Theorem 3.16 proves necessary.
+
+This is the low-level entry point; the engine facade
+(:mod:`repro.engine`) constructs it automatically when a prepared
+query's plan admits constant-delay iteration — see
+``examples/quickstart.py`` (facade) vs ``examples/ranked_paging.py``
+(direct low-level use).
 """
 
 from __future__ import annotations

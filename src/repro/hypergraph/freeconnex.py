@@ -126,3 +126,35 @@ def _existential_path(adjacency, free_set, source, target):
             seen.add(nbr)
             queue.append((nbr, path + (nbr,)))
     return None
+
+
+def free_variable_bags(
+    query: ConjunctiveQuery,
+) -> "dict[int, FrozenSet[str]]":
+    """The bag family of the reduced join query over the free variables.
+
+    This is the database-free counterpart of
+    :func:`repro.joins.fc_reduce.free_connex_reduce`: for a free-connex
+    query it returns exactly the variable sets of the frames the
+    reduction would produce (children of the virtual ``S`` node of
+    :func:`free_connex_join_tree`, intersected with the head; subtrees
+    carrying no free variable are skipped).  The engine planner
+    (:mod:`repro.engine`) feeds this family to
+    :func:`repro.direct_access.layered.find_layered_tree` to decide,
+    *before touching any data*, whether a lexicographic order admits
+    the Õ(log m)-access structure of Theorem 3.24 — the check agrees
+    with what :class:`repro.direct_access.lex.LexDirectAccess` will
+    find at build time because both derive the same bag family.
+
+    Raises :class:`ValueError` for non-free-connex or Boolean queries.
+    """
+    if query.is_boolean():
+        raise ValueError("Boolean queries have no free variables to bag")
+    extended_tree, s_node = free_connex_join_tree(query)
+    free = frozenset(query.free_variables)
+    bags: "dict[int, FrozenSet[str]]" = {}
+    for index, child in enumerate(extended_tree.children(s_node)):
+        scope = extended_tree.bags[child] & free
+        if scope:
+            bags[index] = frozenset(scope)
+    return bags

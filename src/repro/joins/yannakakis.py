@@ -12,6 +12,10 @@ Given an acyclic query and a join tree:
   free variables seen so far plus the separator to the parent.  For
   non-free-connex queries intermediates may exceed the output size —
   that is exactly the gap Theorems 3.12/3.16 prove unavoidable.
+
+The engine facade (:mod:`repro.engine`) routes Boolean prepared
+queries through :func:`yannakakis_boolean` and acyclic
+materialize-then-serve plans through :func:`yannakakis_project`.
 """
 
 from __future__ import annotations

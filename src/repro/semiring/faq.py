@@ -366,6 +366,43 @@ def aggregate_acyclic(
     return aggregate_frames(reduced, tree, semiring, weights)
 
 
+def aggregate_free_connex(
+    query: ConjunctiveQuery,
+    db: Database,
+    semiring: Semiring,
+) -> object:
+    """⊕-fold ``semiring.one`` over the *distinct answers* of a
+    free-connex query, in Õ(m).
+
+    Generalizes :func:`repro.counting.algorithms.count_free_connex`
+    beyond the counting semiring: the query is reduced to an acyclic
+    join query over the free variables
+    (:func:`repro.joins.fc_reduce.free_connex_reduce`) and the message
+    passing runs over the reduced frames with unit weights, so the
+    result is ``⊕_{a ∈ q(D)} 1`` — the answer count in ``K``.  Boolean
+    queries aggregate their single empty answer when satisfiable.
+    Per-atom weights make no sense for projected queries (several body
+    assignments collapse onto one answer); use
+    :func:`aggregate_acyclic` on join queries for weighted aggregation.
+    The engine facade (:mod:`repro.engine`) routes
+    ``AnswerSet.aggregate`` here for projected free-connex queries.
+    """
+    if query.is_boolean():
+        from repro.joins.yannakakis import yannakakis_boolean
+
+        return (
+            semiring.one
+            if yannakakis_boolean(query, db)
+            else semiring.zero
+        )
+    from repro.joins.fc_reduce import free_connex_reduce
+
+    reduced = free_connex_reduce(query, db)
+    if reduced.is_empty:
+        return semiring.zero
+    return aggregate_frames(reduced.frames, reduced.tree, semiring)
+
+
 def aggregate_frames(
     frames: Mapping[int, Frame],
     tree: JoinTree,

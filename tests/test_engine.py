@@ -1,0 +1,307 @@
+"""One-facade parity and liveness for the unified query engine.
+
+The acceptance contract of the Session / PreparedQuery / AnswerSet
+facade: for every query family, the facade's answers (count, first-k
+iteration, random direct access, semiring aggregation) are
+byte-identical to the corresponding direct low-level calls on both
+execution backends, and a prepared query served across an update
+stream never raises :class:`StaleStructureError` while matching a
+rebuild-per-query oracle.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.counting.algorithms import count_answers
+from repro.db.database import Database
+from repro.db.interface import DEFAULT_COLUMNAR_CUTOFF
+from repro.direct_access.lex import LexDirectAccess
+from repro.engine import Session, connect
+from repro.enumeration.constant_delay import ConstantDelayEnumerator
+from repro.query.parser import parse_query
+from repro.semiring.faq import aggregate_acyclic
+from repro.semiring.semirings import COUNTING, MIN_PLUS
+from tests.strategies import queries_with_databases, random_database_for
+
+BACKENDS = ("python", "columnar")
+
+# One query per family the planner distinguishes.
+FAMILY_QUERIES = {
+    "join-chain": "q(a, b, c) :- R(a, b), S(b, c)",
+    "projected-free-connex": "q(a) :- R(a, b), S(b, c)",
+    "star": "q(a, b) :- R(a, b), T(a, c)",
+    "boolean": "q() :- R(a, b), S(b, c)",
+    "non-free-connex": "q(a, c) :- R(a, b), S(b, c)",
+    "cyclic": "q(x, y, z) :- R(x, y), S(y, z), T(z, x)",
+}
+
+
+def _database_for(text: str, backend: str, seed: int = 11) -> Database:
+    query = parse_query(text)
+    db = random_database_for(
+        query, tuples_per_relation=60, domain_size=9, seed=seed
+    )
+    return db.to_backend(backend)
+
+
+def _sorted_oracle(query, db, order):
+    answers = sorted(query.evaluate_brute_force(db))
+    positions = [query.head.index(v) for v in order]
+    answers.sort(key=lambda row: tuple(row[p] for p in positions))
+    return answers
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("family", sorted(FAMILY_QUERIES))
+def test_facade_parity_with_low_level(family, backend):
+    query = parse_query(FAMILY_QUERIES[family])
+    db = _database_for(FAMILY_QUERIES[family], backend)
+    session = Session(db)
+    prepared = session.prepare(query, backend=backend)
+    answers = prepared.run()
+    assert prepared.database is db
+
+    # count == the dichotomy-dispatched low-level counter.
+    assert answers.count() == count_answers(query, db)
+    assert len(answers) == answers.count()
+
+    brute = query.evaluate_brute_force(db)
+    if query.is_boolean():
+        assert list(answers) == ([()] if brute else [])
+        if brute:
+            assert answers[0] == ()
+        return
+    assert set(answers) == brute
+
+    # first-k iteration == the live low-level enumerator, byte for byte.
+    if prepared.plan.family == "free-connex":
+        low = ConstantDelayEnumerator(query, db, on_stale="refresh")
+        low_first = []
+        for row in low:
+            low_first.append(row)
+            if len(low_first) == 7:
+                break
+        assert answers.first(7) == low_first
+
+    # random direct access == the low-level accessor under the same
+    # order (admissible plans), == the sorted materialization always.
+    oracle = _sorted_oracle(query, db, prepared.plan.order)
+    assert answers[:] == oracle
+    rng = random.Random(3)
+    indexes = (
+        [rng.randrange(len(oracle)) for _ in range(10)] if oracle else []
+    )
+    if prepared.plan.access_admissible:
+        accessor = LexDirectAccess(
+            query, db, order=prepared.plan.order, on_stale="refresh"
+        )
+        for i in indexes:
+            assert answers[i] == accessor.access(i)
+    for i in indexes:
+        assert answers[i] == oracle[i]
+
+    # aggregation == the low-level semiring pipelines.
+    assert answers.aggregate(COUNTING) == len(oracle)
+    if query.is_join_query() and prepared.plan.classification.acyclic:
+        assert answers.aggregate(MIN_PLUS) == aggregate_acyclic(
+            query, db, MIN_PLUS
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "family", ["join-chain", "projected-free-connex", "non-free-connex"]
+)
+def test_prepared_query_survives_update_stream(family, backend):
+    """50 updates through the session; never stale, matches a
+    rebuild-per-query oracle at every step."""
+    text = FAMILY_QUERIES[family]
+    query = parse_query(text)
+    db = _database_for(text, backend, seed=23)
+    session = Session(db)
+    prepared = session.prepare(query, backend=backend)
+    answers = prepared.run()
+    rng = random.Random(99)
+    symbols = list(query.relation_symbols)
+    for step in range(50):
+        symbol = rng.choice(symbols)
+        row = (rng.randrange(9), rng.randrange(9))
+        if rng.random() < 0.45:
+            session.discard(symbol, row)
+        else:
+            session.add(symbol, row)
+        oracle = _sorted_oracle(query, session.db, prepared.plan.order)
+        assert len(answers) == len(oracle), step
+        assert answers[:] == oracle, step
+        assert set(answers) == set(oracle), step
+        assert answers.aggregate(COUNTING) == len(oracle), step
+
+
+def test_maintained_count_stays_incremental_on_columnar():
+    text = FAMILY_QUERIES["join-chain"]
+    query = parse_query(text)
+    db = _database_for(text, "columnar", seed=5)
+    session = Session(db)
+    prepared = session.prepare(query)
+    assert prepared.plan.maintained_count
+    answers = prepared.run()
+    len(answers)  # build the maintainer
+    rng = random.Random(17)
+    for _ in range(30):
+        session.add("R", (rng.randrange(9), rng.randrange(9)))
+        session.discard("S", (rng.randrange(9), rng.randrange(9)))
+        assert len(answers) == query.count_brute_force(session.db)
+    assert prepared._counter is not None and prepared._counter
+    assert prepared._counter.rebuilds == 0
+
+
+def test_session_mirror_serves_columnar_from_python_store():
+    query = parse_query(FAMILY_QUERIES["join-chain"])
+    session = connect({"R": [(1, 2), (2, 3)], "S": [(2, 4), (3, 4)]})
+    prepared = session.prepare(query, backend="columnar")
+    answers = prepared.run()
+    assert prepared.database is not session.db
+    assert prepared.database.backend == "columnar"
+    assert session.backends == ("python", "columnar")
+    session.add("R", (7, 2))
+    session.discard("S", (3, 4))
+    assert answers[:] == _sorted_oracle(
+        query, session.db, prepared.plan.order
+    )
+
+
+def test_session_construction_and_conveniences():
+    session = connect({"R": [(0, 1)]})
+    assert session.size() == 1
+    assert session.relation("R").arity == 2
+    # prepare() creates relations the query mentions but the db lacks.
+    answers = session.execute("q(a, b, c) :- R(a, b), S(b, c)")
+    assert len(answers) == 0
+    assert "S" in session.db
+    session.add("S", (1, 5))
+    assert answers[:] == [(0, 1, 5)]
+    # Empty sessions and explicit Database instances work too.
+    assert connect().size() == 0
+    assert Session(Database()).size() == 0
+    assert connect(None, backend="columnar").db.backend == "columnar"
+
+
+def test_backend_cutoff_drives_execution_choice():
+    session = connect({"R": [(i, i + 1) for i in range(10)]},
+                      columnar_cutoff=5)
+    prepared = session.prepare("q(a, b) :- R(a, b)")
+    assert prepared.plan.backend == "columnar"
+    assert prepared.database.backend == "columnar"
+    small = connect({"R": [(0, 1)]})
+    assert small.prepare("q(a, b) :- R(a, b)").plan.backend == "python"
+    assert DEFAULT_COLUMNAR_CUTOFF > 1
+
+
+def test_session_and_prepare_argument_errors():
+    session = connect({"R": [(0, 1)]})
+    with pytest.raises(ValueError, match="unknown backend"):
+        connect(backend="fortran")
+    with pytest.raises(ValueError, match="unknown backend"):
+        session.prepare("q(a, b) :- R(a, b)", backend="fortran")
+    with pytest.raises(TypeError, match="Database"):
+        Session(42)
+    with pytest.raises(ValueError, match="permutation"):
+        session.prepare("q(a, b) :- R(a, b)", order=("a",))
+    with pytest.raises(ValueError, match="no answer order"):
+        session.prepare("q() :- R(a, b)", order=("a",))
+    answers = session.execute("q(a) :- R(a, b)")
+    with pytest.raises(ValueError, match="no semiring"):
+        answers.aggregate()
+    with pytest.raises(ValueError, match="join query"):
+        answers.aggregate(COUNTING, weights=lambda i, row: 1)
+    with pytest.raises(IndexError):
+        answers[len(answers)]
+    assert answers[-1] == answers[len(answers) - 1]
+
+
+def test_prepared_semiring_default_and_explain_passthrough():
+    session = connect({"R": [(0, 1), (2, 3)]})
+    prepared = session.prepare("q(a, b) :- R(a, b)", semiring=COUNTING)
+    answers = prepared.run()
+    assert answers.aggregate() == 2
+    assert answers.explain() == prepared.explain()
+    assert "plan for" in answers.explain()
+    assert prepared.count() == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(queries_with_databases(max_atoms=3, max_tuples=12))
+def test_facade_parity_random_queries(query_db):
+    """Random CQs (any family): facade == brute force on both backends."""
+    query, db = query_db
+    oracle = query.evaluate_brute_force(db)
+    for backend in BACKENDS:
+        execution = db.to_backend(backend)
+        session = Session(execution)
+        answers = session.prepare(query, backend=backend).run()
+        assert len(answers) == len(oracle)
+        if query.is_boolean():
+            assert list(answers) == ([()] if oracle else [])
+        else:
+            assert set(answers[:]) == oracle
+            assert answers.aggregate(COUNTING) == len(oracle)
+
+
+def test_engine_serving_example_runs(capsys):
+    """The serving example (paged reads + update stream) end to end."""
+    from tests.test_examples import run_example
+
+    run_example("engine_serving")
+    output = capsys.readouterr().out
+    assert "zero stale answers" in output
+    assert "incrementally maintained" in output
+
+
+def test_first_k_nonpositive_returns_empty():
+    session = connect({"R": [(0, 1), (1, 2)]})
+    answers = session.execute("q(a, b) :- R(a, b)")
+    assert answers.first(0) == []
+    assert answers.first(-3) == []
+    assert answers.first(1) == answers.first(10)[:1]
+
+
+def test_aggregate_cache_not_aliased_across_transient_semirings():
+    """Regression: caches were keyed by id(semiring); a GC-recycled id
+    served one semiring's cached value for another."""
+    from repro.semiring.semirings import Semiring
+
+    session = connect({"R": [(0, 1), (2, 3)]})
+    answers = session.execute("q(a, b) :- R(a, b)")
+    results = []
+    for kind in ("sum", "max", "sum", "max", "sum"):
+        if kind == "sum":
+            semiring = Semiring(
+                "sum", lambda a, b: a + b, lambda a, b: a * b, 0, 1
+            )
+            expected = 2
+        else:
+            semiring = Semiring(
+                "max", max, lambda a, b: a * b, float("-inf"), 1
+            )
+            expected = 1
+        results.append(answers.aggregate(semiring) == expected)
+        del semiring
+    assert all(results)
+
+
+def test_counting_aggregate_shares_the_count_maintainer():
+    """aggregate(COUNTING) on a maintained plan must reuse the count
+    maintainer, not build a second identical structure."""
+    text = FAMILY_QUERIES["join-chain"]
+    db = _database_for(text, "columnar", seed=3)
+    prepared = Session(db).prepare(text)
+    assert prepared.plan.maintained_count
+    answers = prepared.run()
+    assert len(answers) == answers.aggregate(COUNTING)
+    assert COUNTING not in prepared._agg_maintainers
+    assert answers.aggregate(MIN_PLUS) is not None  # separate semiring
+    assert MIN_PLUS in prepared._agg_maintainers

@@ -1,0 +1,115 @@
+"""Golden snapshots for ``PreparedQuery.explain()``.
+
+One snapshot per pipeline family (boolean, count, enumeration + lex
+direct access, inadmissible lex order, acyclic materialize, cyclic
+fallback), asserting the rendered plan — chosen pipelines, execution
+backend, and quoted theorems — is stable.  The plan is a pure function
+of (query, order, backend, input size), so any diff here is a
+deliberate planner change: update the snapshot *and* the CHANGES entry
+together.
+
+The fixture database has m=6 tuples; the ``count`` case leaves the
+backend to the planner to pin the cutoff rationale text.
+"""
+
+import pytest
+
+from repro.engine import Session
+
+DATA = {"R": [(1, 2), (2, 3)], "S": [(2, 3), (3, 1)], "T": [(3, 1), (1, 2)]}
+
+
+def render(text, backend=None, order=None):
+    session = Session({name: list(rows) for name, rows in DATA.items()})
+    return session.prepare(text, backend=backend, order=order).explain()
+
+
+BOOLEAN = """\
+plan for q() :- R(x, y), S(y, z)
+  family:   boolean
+  backend:  python (forced by caller)
+  structure: acyclic=True free-connex=True self-join-free=True rho*=2.000
+  decide    via Yannakakis semijoin reduction -- Õ(m) (Yannakakis) [Theorem 3.1 / 3.7]
+  count     via decide, then 0/1 -- Õ(m) (counting = deciding for Boolean queries) [Theorem 3.1]
+  updates:  session.add/discard bump mutation stamps; served structures refresh or recompute before answering"""
+
+COUNT = """\
+plan for q(x) :- R(x, y), S(y, z)
+  family:   free-connex
+  backend:  python (m=6 < cutoff 2048)
+  structure: acyclic=True free-connex=True self-join-free=True rho*=2.000
+  order:    x
+  count     via free-connex FAQ message passing -- Õ(m) (free-connex counting) [Theorem 3.13]
+  iterate   via constant-delay enumeration -- Õ(m) preprocessing + Õ(1) delay [Theorem 3.17]
+  access    via lex direct access on (x) -- Õ(m) preprocessing + Õ(log m) per access [Theorem 3.24 / Corollary 3.22]
+  aggregate via free-connex reduction + FAQ (unit weights) -- Õ(m) [Theorem 3.13 / Section 4.1.2]
+  updates:  session.add/discard bump mutation stamps; served structures refresh or recompute before answering"""
+
+ENUM_AND_LEX_DIRECT_ACCESS = """\
+plan for q(a, b, c) :- R(a, b), S(b, c)
+  family:   free-connex
+  backend:  columnar (forced by caller)
+  structure: acyclic=True free-connex=True self-join-free=True rho*=2.000
+  order:    a > b > c
+  count     via FAQ message passing (counting semiring), incrementally maintained -- Õ(m) (free-connex counting) [Theorem 3.13]
+  iterate   via constant-delay enumeration -- Õ(m) preprocessing + Õ(1) delay [Theorem 3.17]
+  access    via lex direct access on (a > b > c) -- Õ(m) preprocessing + Õ(log m) per access [Theorem 3.24 / Corollary 3.22]
+  aggregate via FAQ semiring message passing, incrementally maintained -- Õ(m) [Section 4.1.2 / [59]]
+  updates:  session.add/discard fold delta messages into the maintained structures (O(depth) per tuple)"""
+
+LEX_ORDER_WITH_DISRUPTIVE_TRIO = """\
+plan for q(a, b, c) :- R(a, b), S(b, c)
+  family:   free-connex
+  backend:  python (forced by caller)
+  structure: acyclic=True free-connex=True self-join-free=True rho*=2.000
+  order:    a > c > b
+  count     via free-connex FAQ message passing -- Õ(m) (free-connex counting) [Theorem 3.13]
+  iterate   via constant-delay enumeration -- Õ(m) preprocessing + Õ(1) delay [Theorem 3.17]
+  access    via materialize and sort -- O(output) preprocessing (sort), O(1) per access [Theorem 3.24 / Lemma 3.23]
+              note: order (a > c > b) admits no layered join tree (disruptive trio); pages are served from the sorted materialization
+  aggregate via FAQ semiring message passing -- Õ(m) [Section 4.1.2 / [59]]
+  updates:  session.add/discard bump mutation stamps; served structures refresh or recompute before answering"""
+
+ACYCLIC_MATERIALIZE = """\
+plan for q(x, z) :- R(x, y), S(y, z)
+  family:   acyclic-materialize
+  backend:  python (forced by caller)
+  structure: acyclic=True free-connex=False self-join-free=True rho*=2.000
+  order:    x > z
+  count     via materialize and count -- O(full-join size) (enumerate and count) [Theorem 3.12 / 3.13 / 4.6]
+  iterate   via materialize, then stream in order -- materialize (full evaluation) [Theorem 3.16]
+              note: no constant-delay guarantee: the query is not free-connex, so linear preprocessing with constant delay is ruled out on the hard side of the enumeration dichotomy
+  access    via materialize and sort -- O(output) preprocessing (sort), O(1) per access [Theorem 3.18 / Corollary 3.22]
+              note: no constant-delay guarantee: superlinear preprocessing is unavoidable for non-free-connex queries
+  aggregate via fold over materialized answers (unit weights) -- O(full-join size) [Section 4.1.2]
+              note: projected non-free-connex query: aggregate = fold of 1s
+  updates:  session.add/discard bump mutation stamps; served structures refresh or recompute before answering"""
+
+CYCLIC_FALLBACK = """\
+plan for q(x, y, z) :- R(x, y), S(y, z), T(z, x)
+  family:   cyclic-materialize
+  backend:  python (forced by caller)
+  structure: acyclic=False free-connex=False self-join-free=True rho*=1.500
+  order:    x > y > z
+  count     via materialize and count -- Õ(m^1.500) (worst-case-optimal join + count) [Theorem 3.13 (via Theorem 3.7)]
+  iterate   via materialize, then stream in order -- materialize (full evaluation) [Theorem 3.14 / 4.5]
+              note: no constant-delay guarantee: the query is not free-connex, so linear preprocessing with constant delay is ruled out on the hard side of the enumeration dichotomy
+  access    via materialize and sort -- O(output) preprocessing (sort), O(1) per access [Theorem 3.18 / Corollary 3.22]
+              note: no constant-delay guarantee: superlinear preprocessing is unavoidable for non-free-connex queries
+  aggregate via worst-case-optimal join + fold -- Õ(m^1.500) [Section 4.1.2]
+  updates:  session.add/discard bump mutation stamps; served structures refresh or recompute before answering"""
+
+
+@pytest.mark.parametrize(
+    "text, backend, order, expected",
+    [
+        pytest.param('q() :- R(x, y), S(y, z)', 'python', None, BOOLEAN, id='boolean'),
+        pytest.param('q(x) :- R(x, y), S(y, z)', None, None, COUNT, id='count'),
+        pytest.param('q(a, b, c) :- R(a, b), S(b, c)', 'columnar', None, ENUM_AND_LEX_DIRECT_ACCESS, id='enum_and_lex_direct_access'),
+        pytest.param('q(a, b, c) :- R(a, b), S(b, c)', 'python', ('a', 'c', 'b'), LEX_ORDER_WITH_DISRUPTIVE_TRIO, id='lex_order_with_disruptive_trio'),
+        pytest.param('q(x, z) :- R(x, y), S(y, z)', 'python', None, ACYCLIC_MATERIALIZE, id='acyclic_materialize'),
+        pytest.param('q(x, y, z) :- R(x, y), S(y, z), T(z, x)', 'python', None, CYCLIC_FALLBACK, id='cyclic_fallback'),
+    ],
+)
+def test_explain_golden(text, backend, order, expected):
+    assert render(text, backend=backend, order=order) == expected

@@ -1,0 +1,129 @@
+"""Planner fallback routing: the hard sides must degrade, not crash.
+
+Non-free-connex queries route to materialize-then-serve with an
+explicit "no constant-delay guarantee" note; inadmissible lexicographic
+orders (disruptive trios) drop direct access to the sorted
+materialization; and on random acyclic CQs the AnswerSet's paging is
+byte-identical to the sorted materialized answers on both backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.engine import Session
+from repro.engine.planner import (
+    ACYCLIC_MATERIALIZE,
+    CYCLIC_MATERIALIZE,
+    FREE_CONNEX,
+    plan_query,
+)
+from repro.hypergraph.gyo import is_acyclic
+from repro.query.parser import parse_query
+from tests.strategies import queries_with_databases
+
+BACKENDS = ("python", "columnar")
+
+
+def test_non_free_connex_routes_to_materialize_with_note():
+    query = parse_query("q(x, z) :- R(x, y), S(y, z)")
+    plan = plan_query(query, size=10)
+    assert plan.family == ACYCLIC_MATERIALIZE
+    assert not plan.access_admissible
+    assert "no constant-delay guarantee" in plan.route("iterate").note
+    assert "no constant-delay guarantee" in plan.route("access").note
+    assert "no constant-delay guarantee" in plan.render()
+    assert plan.route("iterate").algorithm.startswith("materialize")
+
+
+def test_cyclic_routes_to_generic_join_fallback():
+    query = parse_query("q(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+    plan = plan_query(query, size=10)
+    assert plan.family == CYCLIC_MATERIALIZE
+    assert not plan.access_admissible
+    assert "worst-case-optimal" in plan.route("aggregate").algorithm
+    assert "no constant-delay guarantee" in plan.route("iterate").note
+
+
+def test_disruptive_trio_order_drops_direct_access_only():
+    # (a, c, b) has the disruptive trio; the query itself stays
+    # free-connex, so counting and enumeration keep their guarantees.
+    query = parse_query("q(a, b, c) :- R(a, b), S(b, c)")
+    plan = plan_query(query, size=10, order=("a", "c", "b"))
+    assert plan.family == FREE_CONNEX
+    assert not plan.access_admissible
+    assert "disruptive trio" in plan.route("access").note
+    assert plan.route("iterate").algorithm == "constant-delay enumeration"
+    # The planner left alone picks an admissible order instead.
+    free = plan_query(query, size=10)
+    assert free.access_admissible
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_materialize_families_serve_correct_pages(backend):
+    for text in (
+        "q(x, z) :- R(x, y), S(y, z)",
+        "q(x, y, z) :- R(x, y), S(y, z), T(z, x)",
+    ):
+        query = parse_query(text)
+        session = Session(
+            {
+                "R": [(1, 2), (2, 3), (4, 2), (3, 1)],
+                "S": [(2, 3), (3, 1), (2, 1)],
+                "T": [(3, 1), (1, 4), (1, 1)],
+            },
+            backend=backend,
+        )
+        answers = session.prepare(query, backend=backend).run()
+        oracle = sorted(query.evaluate_brute_force(session.db))
+        assert len(answers) == len(oracle)
+        assert answers[:] == oracle
+        assert list(answers) == oracle
+        for i in range(len(oracle)):
+            assert answers[i] == oracle[i]
+        assert answers[1:3] == oracle[1:3]
+        # Updates re-materialize instead of crashing or serving stale.
+        session.add("R", (9, 2))
+        session.add("S", (2, 7))
+        oracle = sorted(query.evaluate_brute_force(session.db))
+        assert answers[:] == oracle
+
+
+def test_trio_order_pages_match_sorted_materialization():
+    query = parse_query("q(a, b, c) :- R(a, b), S(b, c)")
+    session = Session(
+        {"R": [(1, 2), (2, 2), (0, 1)], "S": [(2, 0), (2, 5), (1, 9)]}
+    )
+    prepared = session.prepare(query, order=("a", "c", "b"))
+    answers = prepared.run()
+    oracle = sorted(
+        query.evaluate_brute_force(session.db),
+        key=lambda row: (row[0], row[2], row[1]),
+    )
+    assert answers[:] == oracle
+    assert [answers[i] for i in range(len(oracle))] == oracle
+
+
+@settings(max_examples=30, deadline=None)
+@given(queries_with_databases(max_atoms=3, max_tuples=10))
+def test_answer_set_paging_equals_sorted_materialization(query_db):
+    """Acceptance: on random acyclic CQs, paging == sorted answers on
+    both backends (whatever family the planner picked)."""
+    query, db = query_db
+    assume(not query.is_boolean())
+    assume(is_acyclic(query.hypergraph()))
+    brute = sorted(query.evaluate_brute_force(db))
+    for backend in BACKENDS:
+        session = Session(db.to_backend(backend))
+        prepared = session.prepare(query, backend=backend)
+        answers = prepared.run()
+        positions = [query.head.index(v) for v in prepared.plan.order]
+        oracle = sorted(
+            brute,
+            key=lambda row: tuple(row[p] for p in positions),
+        )
+        assert answers[:] == oracle
+        assert answers[: len(oracle) // 2] == oracle[: len(oracle) // 2]
+        for index in range(0, len(oracle), max(1, len(oracle) // 5)):
+            assert answers[index] == oracle[index]

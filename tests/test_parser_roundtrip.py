@@ -1,0 +1,105 @@
+"""Parser diagnostics and round-trip guarantees.
+
+Two contracts added with the engine facade (which parses user text on
+every ``Session.prepare`` call and therefore must fail *legibly*):
+
+1. malformed input names the offending atom's position and quotes the
+   grammar production it failed to match — not the raw regex text;
+2. printing and reparsing is the identity: ``parse_query(str(q))``
+   equals ``q`` for every expressible query.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.query.parser import (
+    ATOM_PRODUCTION,
+    HEAD_PRODUCTION,
+    QueryParseError,
+    parse_query,
+)
+from tests.strategies import conjunctive_queries
+
+
+# ----------------------------------------------------------------------
+# error diagnostics
+# ----------------------------------------------------------------------
+def test_malformed_atom_reports_position_and_production():
+    with pytest.raises(QueryParseError) as excinfo:
+        parse_query("q(x) :- R(x, y), S x, y), T(y)")
+    message = str(excinfo.value)
+    assert "atom at position 2 in the body" in message
+    assert ATOM_PRODUCTION in message
+    assert "'S x" in message  # the offending text, not a regex dump
+
+
+def test_first_and_last_atom_positions_are_one_based():
+    with pytest.raises(QueryParseError, match="position 1 in the body"):
+        parse_query("q(x) :- R x), S(x)")
+    with pytest.raises(QueryParseError, match="position 3 in the body"):
+        parse_query("q(x) :- R(x), S(x), T-(x)")
+
+
+def test_bad_variable_names_the_atom_and_argument():
+    with pytest.raises(QueryParseError) as excinfo:
+        parse_query("q(x) :- R(x, 1st)")
+    message = str(excinfo.value)
+    assert "position 1 in the body" in message
+    assert "'1st'" in message
+    assert "'R'" in message
+
+
+def test_malformed_head_quotes_head_production():
+    with pytest.raises(QueryParseError) as excinfo:
+        parse_query("q x) :- R(x)")
+    message = str(excinfo.value)
+    assert "head" in message
+    assert HEAD_PRODUCTION in message
+
+
+def test_empty_atom_and_arity_zero_atom_report_position():
+    with pytest.raises(QueryParseError, match="position 2 in the body"):
+        parse_query("q(x) :- R(x), , S(x)")
+    with pytest.raises(QueryParseError, match="position 2 in the body"):
+        parse_query("q(x) :- R(x), S()")
+
+
+def test_unbalanced_parentheses_report_atom_index():
+    with pytest.raises(QueryParseError, match="atom 2"):
+        parse_query("q(x) :- R(x), S(x")
+
+
+def test_missing_separator_quotes_query_production():
+    with pytest.raises(QueryParseError, match='":-"'):
+        parse_query("q(x) R(x)")
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "text",
+    [
+        "q(x, y) :- R(x, z), S(z, y)",
+        "q() :- R(x, y), R(y, z), R(z, x)",
+        "q(a) :- R(a, a)",
+        "triangle(x, y, z) :- E1(x, y), E2(y, z), E3(z, x)",
+        "q(v) :- Unary(v)",
+    ],
+)
+def test_fixed_round_trips(text):
+    query = parse_query(text)
+    reparsed = parse_query(str(query))
+    assert reparsed == query
+    assert reparsed.name == query.name
+    assert str(reparsed) == str(query)
+
+
+@settings(max_examples=100, deadline=None)
+@given(conjunctive_queries(self_join_free=False))
+def test_random_round_trips(query):
+    reparsed = parse_query(str(query))
+    assert reparsed == query
+    assert str(reparsed) == str(query)
