@@ -29,6 +29,16 @@ maintain one aggregate under         :class:`HierarchicalCountMaintainer`
 updates, no serving facade           / :mod:`repro.dynamic`
 build inputs                         :class:`Database`, :func:`parse_query`,
                                      :mod:`repro.workloads`
+pick a storage backend               ``Database(backend=...)`` —
+                                     ``"python"`` (tiny inputs,
+                                     per-row callbacks), ``"columnar"``
+                                     (bulk analytics, one NumPy code
+                                     matrix per relation), ``"sharded"``
+                                     (hash-partitioned matrices: batched
+                                     ingestion + merge-based
+                                     aggregation at out-of-core scale);
+                                     the engine planner picks one
+                                     automatically by input size
 ===================================  =======================================
 
 Subpackages:

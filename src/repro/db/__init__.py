@@ -7,11 +7,14 @@ indexes; a :class:`Database` maps relation names to relations and
 accounts for the total input size ``m`` (number of tuples), the quantity
 every runtime bound in the paper is stated in.
 
-Two storage backends implement the common tuple-store interface
+Three storage backends implement the common tuple-store interface
 (:mod:`repro.db.interface`): the default ``"python"`` backend
-(:class:`Relation`, hash sets of tuples) and the opt-in ``"columnar"``
+(:class:`Relation`, hash sets of tuples), the opt-in ``"columnar"``
 backend (:class:`ColumnarRelation`, dictionary-encoded NumPy columns —
-see :mod:`repro.db.columnar`), selected via ``Database(backend=...)``.
+see :mod:`repro.db.columnar`), and the partitioned ``"sharded"``
+backend (:class:`ShardedColumnarRelation`, hash-partitioned code
+matrices over one shared dictionary — see :mod:`repro.db.sharded`),
+selected via ``Database(backend=...)``.
 """
 
 from repro.db.columnar import ColumnarRelation, Dictionary
@@ -20,10 +23,13 @@ from repro.db.interface import (
     FrameAlgebra,
     StaleStructureError,
     TupleStore,
+    preferred_backend,
+    preferred_shard_count,
     snapshot_stamps,
     stale_relations,
 )
 from repro.db.relation import Relation
+from repro.db.sharded import ShardedColumnarRelation
 
 __all__ = [
     "ColumnarRelation",
@@ -31,8 +37,11 @@ __all__ = [
     "Dictionary",
     "FrameAlgebra",
     "Relation",
+    "ShardedColumnarRelation",
     "StaleStructureError",
     "TupleStore",
+    "preferred_backend",
+    "preferred_shard_count",
     "snapshot_stamps",
     "stale_relations",
 ]

@@ -651,6 +651,38 @@ class ColumnarRelation:
             coded.append(code)
         self._log_op(tuple(coded), False)
 
+    def apply_coded(self, coded: Sequence[int], insert: bool = True) -> None:
+        """One insert/delete of an *already-encoded* tuple (O(1) log append).
+
+        Code-level counterpart of :meth:`add`/:meth:`discard` for
+        callers that route batches of codes themselves (the sharded
+        substrate of :mod:`repro.db.sharded`).  The codes must come
+        from this relation's dictionary; no validation is performed.
+        """
+        if len(coded) != self.arity:
+            raise ValueError(
+                f"coded row of width {len(coded)} for arity {self.arity}"
+            )
+        self._log_op(tuple(int(c) for c in coded), insert)
+
+    def add_coded_batch(self, codes: np.ndarray) -> None:
+        """Bulk-insert already-encoded rows (a history barrier).
+
+        The code-level counterpart of :meth:`add_all`'s bulk path:
+        one concatenate + one vectorized dedupe, no per-row Python.
+        Used by the sharded substrate to route whole code batches to
+        their owning shard without re-encoding.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 2:  # width-0 rows defeat reshape(-1, 0)
+            codes = codes.reshape(len(codes), self.arity)
+        if not len(codes):
+            return
+        merged = np.concatenate([self.codes(), codes], axis=0)
+        self._stamp += 1
+        self._invalidate()
+        self._adopt(unique_rows(merged, len(self.dictionary)))
+
     def retain(self, predicate) -> int:
         """Keep only tuples satisfying ``predicate``; return removed count.
 

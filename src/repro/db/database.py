@@ -14,6 +14,7 @@ from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence
 from repro.db.columnar import ColumnarRelation, Dictionary
 from repro.db.interface import BACKENDS, check_backend
 from repro.db.relation import Relation, Row, Value
+from repro.db.sharded import ShardedColumnarRelation
 
 
 class Database:
@@ -25,18 +26,24 @@ class Database:
     :class:`Relation` objects, ``"columnar"`` builds dictionary-encoded
     :class:`~repro.db.columnar.ColumnarRelation` objects that all share
     one value :class:`~repro.db.columnar.Dictionary`, so the vectorized
-    join stack compares int codes instead of Python values.
+    join stack compares int codes instead of Python values, and
+    ``"sharded"`` builds hash-partitioned
+    :class:`~repro.db.sharded.ShardedColumnarRelation` objects
+    (``shard_count`` shards each, over the same shared dictionary) for
+    batched ingestion and merge-based distributed aggregation.
     """
 
     def __init__(
         self,
         relations: Optional[Iterable[Relation]] = None,
         backend: str = "python",
+        shard_count: Optional[int] = None,
     ) -> None:
         self.backend = check_backend(backend)
         self._dictionary: Optional[Dictionary] = (
-            Dictionary() if backend == "columnar" else None
+            Dictionary() if backend in ("columnar", "sharded") else None
         )
+        self.shard_count = shard_count
         self._relations: Dict[str, Relation] = {}
         if relations is not None:
             for rel in relations:
@@ -50,9 +57,17 @@ class Database:
     ):
         """A relation of this database's backend (not yet registered).
 
-        Columnar relations share the database-wide value dictionary, so
-        joins between them compare codes directly.
+        Columnar and sharded relations share the database-wide value
+        dictionary, so joins between them compare codes directly.
         """
+        if self.backend == "sharded":
+            return ShardedColumnarRelation(
+                name,
+                arity,
+                rows,
+                dictionary=self._dictionary,
+                shard_count=self.shard_count,
+            )
         if self.backend == "columnar":
             return ColumnarRelation(
                 name, arity, rows, dictionary=self._dictionary
@@ -64,6 +79,7 @@ class Database:
         cls,
         data: Mapping[str, Iterable[Sequence[Value]]],
         backend: str = "python",
+        shard_count: Optional[int] = None,
     ) -> "Database":
         """Build a database from ``{name: iterable of tuples}``.
 
@@ -71,7 +87,7 @@ class Database:
         iterables are rejected here because their arity is ambiguous
         (use :meth:`add_relation` with an explicit arity instead).
         """
-        db = cls(backend=backend)
+        db = cls(backend=backend, shard_count=shard_count)
         for name, rows in data.items():
             rows = [tuple(r) for r in rows]
             if not rows:
@@ -108,15 +124,26 @@ class Database:
             )
         return rel
 
-    def to_backend(self, backend: str) -> "Database":
+    def to_backend(
+        self, backend: str, shard_count: Optional[int] = None
+    ) -> "Database":
         """A copy of this database with every relation converted.
 
         Converting to ``"columnar"`` bulk-encodes each relation into a
-        dictionary shared across the new database; converting to
-        ``"python"`` decodes back to tuple sets.  A no-op backend still
-        returns an independent copy.
+        dictionary shared across the new database; ``"sharded"``
+        additionally hash-routes each relation's batch across
+        ``shard_count`` shards (default: the size heuristic
+        :func:`repro.db.interface.preferred_shard_count`); converting
+        to ``"python"`` decodes back to tuple sets.  A no-op backend
+        still returns an independent copy.
         """
-        out = Database(backend=backend)
+        if backend == "sharded" and shard_count is None:
+            from repro.db.interface import preferred_shard_count
+
+            shard_count = self.shard_count or preferred_shard_count(
+                self.size()
+            )
+        out = Database(backend=backend, shard_count=shard_count)
         for rel in self._relations.values():
             out.add_relation(out.new_relation(rel.name, rel.arity, rel))
         return out
@@ -160,7 +187,7 @@ class Database:
         in place, so algorithm entry points copy their input first to
         keep the public API side-effect free.
         """
-        out = Database(backend=self.backend)
+        out = Database(backend=self.backend, shard_count=self.shard_count)
         # Copied columnar relations keep their (append-only) dictionary;
         # the copy must create new relations against that same one to
         # preserve the shared-dictionary invariant.

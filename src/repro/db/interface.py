@@ -80,7 +80,7 @@ from __future__ import annotations
 from abc import ABC
 from typing import Dict, Iterable, Optional
 
-BACKENDS = ("python", "columnar")
+BACKENDS = ("python", "columnar", "sharded")
 
 # Input size (total tuples) above which the vectorized columnar backend
 # amortizes its encoding overhead.  Below it, the python backend's
@@ -89,6 +89,38 @@ BACKENDS = ("python", "columnar")
 # The engine planner (repro.engine) uses this as its default backend
 # cutoff; callers can override per session or per prepare() call.
 DEFAULT_COLUMNAR_CUTOFF = 2048
+
+# Input size above which the planner prefers the *sharded* columnar
+# backend (repro.db.sharded): hash-partitioned code matrices whose hot
+# pipelines run shard-by-shard and merge per-shard FAQ messages, so no
+# global array larger than one shard (plus the merged separator
+# domain) is materialized on the count/aggregate path.  Below it the
+# partitioning overhead (one routing pass per batch, k-way message
+# merges) buys nothing.
+DEFAULT_SHARD_CUTOFF = 1 << 17
+
+# Shard-count heuristic: aim for roughly this many tuples per shard,
+# doubling the shard count until reached, capped at MAX_SHARD_COUNT
+# (diminishing returns: each extra shard adds one message to every
+# cross-shard merge).
+SHARD_TARGET_ROWS = 1 << 15
+MAX_SHARD_COUNT = 16
+
+
+def preferred_shard_count(size: int, target: Optional[int] = None) -> int:
+    """Planner heuristic: power-of-two shard count for an input size.
+
+    Doubles until shards hold at most ~``target`` tuples each
+    (default :data:`SHARD_TARGET_ROWS`), capped at
+    :data:`MAX_SHARD_COUNT`.  Sizes below one target's worth get a
+    single shard — partitioning them is pure overhead.
+    """
+    if target is None:
+        target = SHARD_TARGET_ROWS
+    count = 1
+    while count < MAX_SHARD_COUNT and count * target < size:
+        count *= 2
+    return count
 
 
 def check_backend(backend: str) -> str:
@@ -104,20 +136,33 @@ def preferred_backend(
     size: int,
     stored_backend: str = "python",
     cutoff: Optional[int] = None,
+    shard_cutoff: Optional[int] = None,
 ) -> str:
     """The execution backend the planner prefers for an input size.
 
-    A database already stored columnar stays columnar (its relations
-    are encoded; decoding buys nothing).  A python-backed database is
-    promoted to columnar execution once it holds at least ``cutoff``
-    tuples (default :data:`DEFAULT_COLUMNAR_CUTOFF`) — the regime the
-    benchmark trajectory shows the array programs winning in.
+    A database already stored sharded (or columnar) stays that way —
+    its relations are encoded, and re-partitioning a columnar store
+    would decode and re-encode every tuple into a second dictionary
+    for roughly-parity merge-bound speed (``bench_a09``).  A
+    python-stored database promotes by size: at least ``shard_cutoff``
+    tuples (default :data:`DEFAULT_SHARD_CUTOFF`) goes straight to
+    the partitioned ``"sharded"`` backend (encoding happens once
+    either way), at least ``cutoff`` (default
+    :data:`DEFAULT_COLUMNAR_CUTOFF`) to single-array ``"columnar"``
+    execution — the regimes the benchmark trajectory shows each
+    layout winning in.
     """
     check_backend(stored_backend)
     if cutoff is None:
         cutoff = DEFAULT_COLUMNAR_CUTOFF
+    if shard_cutoff is None:
+        shard_cutoff = DEFAULT_SHARD_CUTOFF
+    if stored_backend == "sharded":
+        return "sharded"
     if stored_backend == "columnar":
         return "columnar"
+    if size >= shard_cutoff:
+        return "sharded"
     return "columnar" if size >= cutoff else "python"
 
 
@@ -186,13 +231,15 @@ class FrameAlgebra(ABC):
 
 
 def register_backends() -> None:
-    """Register both backends' classes against the virtual ABCs."""
+    """Register the backends' classes against the virtual ABCs."""
     from repro.db.columnar import ColumnarRelation
     from repro.db.relation import Relation
+    from repro.db.sharded import ShardedColumnarRelation
     from repro.joins.frame import Frame
     from repro.joins.vectorized import ColumnarFrame
 
     TupleStore.register(Relation)
     TupleStore.register(ColumnarRelation)
+    TupleStore.register(ShardedColumnarRelation)
     FrameAlgebra.register(Frame)
     FrameAlgebra.register(ColumnarFrame)

@@ -1,0 +1,455 @@
+"""Sharded columnar storage: hash-partitioned code matrices.
+
+This module is the partitioned half of the columnar substrate: a
+:class:`ShardedColumnarRelation` stores its tuples as ``shard_count``
+independent :class:`~repro.db.columnar.ColumnarRelation` shards — each
+a compacted main segment plus delta segments — over **one shared
+dictionary**.  Rows are routed by a multiplicative hash of the code in
+one *key column*, so equal tuples always land in the same shard and
+the shards partition the tuple set.
+
+Why the shared :class:`~repro.db.columnar.Dictionary` is the natural
+shard boundary: dictionary codes are append-only and global, so two
+shards' code matrices are directly comparable — a cross-shard join
+compares ints, never values, and a shard's FAQ message is already a
+``(separator codes, weight column)`` pair.  Cross-shard aggregation is
+therefore just a *merge of messages* — one
+:func:`repro.db.columnar.group_reduce` over the concatenation of the
+per-shard messages — with no shared mutable state beyond the
+append-only dictionary (see
+:func:`repro.semiring.faq._aggregate_frames_columnar`).
+
+**Ingestion.**  ``add_all`` encodes the whole batch once, computes the
+shard of every row in one vectorized hash pass, and hands each shard
+its sub-batch as a code matrix (:meth:`ColumnarRelation.
+add_coded_batch`) — no per-row Python beyond the encode boundary that
+every backend pays.  Single-tuple ``add``/``discard`` route to the
+owning shard's delta segments in O(1).
+
+**Consistency.**  Each shard keeps its own ``mutation_stamp`` /
+``delta_since`` history, so the PR 3 consistency contract holds
+*shard-locally*; the sharded relation exposes the same contract
+globally by translating a global stamp back to the per-shard stamps it
+corresponds to (a small routing history) and concatenating the shard
+deltas.  When any shard compacted past the requested stamp the global
+``delta_since`` answers ``None`` — exactly the columnar contract.
+
+**Materialization accounting.**  The promise of the sharded pipelines
+is that the count/aggregate path never materializes a global array
+larger than one shard (plus the merged separator domain).  Every place
+that *does* coalesce shards into one global matrix (``codes()`` on the
+relation, ``ShardedColumnarFrame._codes``) reports the coalesced row
+count through :func:`note_coalesce`; benchmarks and tests read the
+peak via :func:`coalesced_row_peak` to assert the promise, the same
+way :func:`repro.db.columnar.decoded_row_count` asserts zero decodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.columnar import (
+    DELTA_COMPACT_MIN,
+    ColumnarRelation,
+    Dictionary,
+    Value,
+)
+
+# Default number of shards for relations created without an explicit
+# count (Database(backend="sharded")).  The engine planner sizes real
+# workloads via repro.db.interface.preferred_shard_count instead.
+DEFAULT_SHARD_COUNT = 4
+
+# Routing-history length bound: single-tuple ops append one (global
+# stamp, shard, shard stamp) entry so delta_since can translate global
+# stamps back to per-shard ones.  Past the bound the history is
+# rebased (old stamps become unanswerable — callers rebuild), mirroring
+# the weight-log truncation of repro.semiring.faq.WeightedDatabase.
+_HISTORY_LIMIT = 8192
+
+# 64-bit multiplicative (Fibonacci) hash constant; spreads consecutive
+# dictionary codes across shards even though codes are dense.
+_MIX = 0x9E3779B97F4A7C15
+_MASK = (1 << 64) - 1
+
+# ----------------------------------------------------------------------
+# coalesce instrumentation
+# ----------------------------------------------------------------------
+# Peak row count of any multi-shard coalesce (global materialization)
+# since the last reset.  The shard-parallel pipelines promise zero on
+# the aggregate path; benchmarks assert it through this hook.
+_COALESCED_PEAK = 0
+
+
+def coalesced_row_peak() -> int:
+    """Largest multi-shard coalesce (rows) since the last reset."""
+    return _COALESCED_PEAK
+
+
+def reset_coalesced_row_peak() -> None:
+    global _COALESCED_PEAK
+    _COALESCED_PEAK = 0
+
+
+def note_coalesce(rows: int) -> None:
+    """Record a global (cross-shard) materialization of ``rows`` rows."""
+    global _COALESCED_PEAK
+    if rows > _COALESCED_PEAK:
+        _COALESCED_PEAK = rows
+
+
+# ----------------------------------------------------------------------
+# routing
+# ----------------------------------------------------------------------
+def shard_of_code(code: int, shard_count: int) -> int:
+    """The shard owning one dictionary code (scalar hash route).
+
+    Fibonacci hash, then a multiply-shift range map over the *high*
+     32 bits — the low bits of ``code * odd-constant`` are a mere
+    permutation of ``code mod 2^k``, so a ``% shard_count`` route
+    would partition dense codes with visible skew.
+    """
+    if shard_count <= 1:
+        return 0
+    mixed = (int(code) * _MIX) & _MASK
+    mixed ^= mixed >> 33
+    return int(((mixed >> 32) * shard_count) >> 32)
+
+
+def shard_ids(key_codes: np.ndarray, shard_count: int) -> np.ndarray:
+    """Per-row shard ids for a key-code column (vectorized hash route).
+
+    Bit-identical to :func:`shard_of_code` applied elementwise, so the
+    single-tuple and batched ingestion paths can never disagree about
+    a tuple's owning shard.
+    """
+    if shard_count <= 1:
+        return np.zeros(len(key_codes), dtype=np.int64)
+    mixed = key_codes.astype(np.uint64) * np.uint64(_MIX)
+    mixed ^= mixed >> np.uint64(33)
+    high = mixed >> np.uint64(32)
+    return ((high * np.uint64(shard_count)) >> np.uint64(32)).astype(
+        np.int64
+    )
+
+
+class ShardedColumnarRelation(ColumnarRelation):
+    """A columnar relation hash-partitioned into independent shards.
+
+    Drop-in replacement for :class:`ColumnarRelation` (it *is* one, so
+    every columnar code path accepts it): same mutation/access/operator
+    surface, same set semantics, one shared dictionary.  Storage is a
+    list of per-shard :class:`ColumnarRelation` objects; rows are
+    routed by hashing the dictionary code of the ``key_column``
+    (default: the first column), so the shards are disjoint and the
+    routing of a tuple never changes.
+
+    Shard-aware consumers (:class:`repro.joins.vectorized.
+    ShardedColumnarFrame`, the FAQ message merge) read the shards
+    directly via :attr:`shards` / :meth:`shard_delta_since` and never
+    touch a global matrix; generic columnar consumers fall back to
+    :meth:`codes`, which coalesces — correct, merely unsharded — and
+    reports the materialization through :func:`note_coalesce`.
+    """
+
+    backend = "sharded"
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        rows: Optional[Iterable[Sequence[Value]]] = None,
+        dictionary: Optional[Dictionary] = None,
+        shard_count: Optional[int] = None,
+        key_column: int = 0,
+    ) -> None:
+        super().__init__(name, arity, rows=None, dictionary=dictionary)
+        if shard_count is None:
+            shard_count = DEFAULT_SHARD_COUNT
+        if shard_count < 1:
+            raise ValueError("shard_count must be positive")
+        if arity == 0:
+            key_column = 0
+        elif not 0 <= key_column < arity:
+            raise IndexError(
+                f"key column {key_column} out of range for arity {arity}"
+            )
+        self.shard_count = shard_count
+        self.key_column = key_column
+        self._shards: List[ColumnarRelation] = [
+            ColumnarRelation(
+                f"{name}#{i}", arity, dictionary=self.dictionary
+            )
+            for i in range(shard_count)
+        ]
+        # Routing history: (global stamp, shard index, shard stamp)
+        # per single-tuple op since the last barrier, so delta_since
+        # can translate a recorded global stamp to per-shard stamps.
+        self._history: List[Tuple[int, int, int]] = []
+        self._global_base_stamp = 0
+        self._base_shard_stamps: List[int] = [0] * shard_count
+        self._coalesced: Optional[np.ndarray] = None
+        if rows is not None:
+            self.add_all(rows)
+
+    # ------------------------------------------------------------------
+    # internal state
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        super()._invalidate()
+        self._coalesced = None
+
+    def _rebase(self) -> None:
+        """Truncate routing history (a global history barrier)."""
+        self._history.clear()
+        self._global_base_stamp = self.mutation_stamp
+        self._base_shard_stamps = [
+            shard.mutation_stamp for shard in self._shards
+        ]
+
+    def _owning_shard(self, coded: Sequence[int]) -> int:
+        if self.arity == 0:
+            return 0
+        return shard_of_code(coded[self.key_column], self.shard_count)
+
+    def _route_codes(self, codes: np.ndarray) -> np.ndarray:
+        if self.arity == 0 or self.shard_count == 1:
+            return np.zeros(len(codes), dtype=np.int64)
+        return shard_ids(codes[:, self.key_column], self.shard_count)
+
+    def _apply_one(self, coded: Tuple[int, ...], insert: bool) -> None:
+        shard_index = self._owning_shard(coded)
+        shard = self._shards[shard_index]
+        shard.apply_coded(coded, insert)
+        self._invalidate()
+        self._history.append(
+            (self.mutation_stamp, shard_index, shard.mutation_stamp)
+        )
+        if len(self._history) > _HISTORY_LIMIT:
+            self._rebase()
+
+    # ------------------------------------------------------------------
+    # shard introspection
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> Tuple[ColumnarRelation, ...]:
+        """The per-shard stores (read-only by convention)."""
+        return tuple(self._shards)
+
+    def shard_sizes(self) -> List[int]:
+        """Tuples per shard (reveals partition skew)."""
+        return [len(shard) for shard in self._shards]
+
+    def shard_stamps(self) -> Tuple[int, ...]:
+        """Each shard's current ``mutation_stamp`` (shard-local contract)."""
+        return tuple(shard.mutation_stamp for shard in self._shards)
+
+    def shard_delta_since(
+        self, shard_index: int, stamp: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """One shard's net delta since a *shard-local* stamp."""
+        return self._shards[shard_index].delta_since(stamp)
+
+    # ------------------------------------------------------------------
+    # consistency contract
+    # ------------------------------------------------------------------
+    @property
+    def mutation_stamp(self) -> int:
+        """Monotone global stamp: the sum of the shard stamps."""
+        return sum(shard.mutation_stamp for shard in self._shards)
+
+    @property
+    def delta_size(self) -> int:
+        return sum(shard.delta_size for shard in self._shards)
+
+    def delta_since(
+        self, stamp: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Net ``(inserted, deleted)`` code rows since a global stamp.
+
+        Translates the global stamp to the per-shard stamps it
+        corresponds to (via the routing history) and concatenates the
+        shards' exact net deltas.  ``None`` when the routing history
+        was rebased past ``stamp`` or any shard compacted its own
+        history away — callers rebuild, exactly as for the unsharded
+        contract.
+        """
+        empty = np.empty((0, self.arity), dtype=np.int64)
+        current = self.mutation_stamp
+        if stamp == current:
+            return empty, empty
+        if stamp < self._global_base_stamp or stamp > current:
+            return None
+        targets = list(self._base_shard_stamps)
+        for global_stamp, shard_index, shard_stamp in self._history:
+            if global_stamp > stamp:
+                break
+            targets[shard_index] = shard_stamp
+        inserted_parts: List[np.ndarray] = []
+        deleted_parts: List[np.ndarray] = []
+        for shard, target in zip(self._shards, targets):
+            delta = shard.delta_since(target)
+            if delta is None:
+                return None
+            inserted, deleted = delta
+            if len(inserted):
+                inserted_parts.append(inserted)
+            if len(deleted):
+                deleted_parts.append(deleted)
+
+        def cat(parts: List[np.ndarray]) -> np.ndarray:
+            if not parts:
+                return empty
+            if len(parts) == 1:
+                return parts[0]
+            return np.concatenate(parts, axis=0)
+
+        return cat(inserted_parts), cat(deleted_parts)
+
+    def compact(self) -> None:
+        """Fold every shard's delta segments in (content unchanged)."""
+        for shard in self._shards:
+            shard.compact()
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, row: Sequence[Value]) -> None:
+        """Insert one tuple into its owning shard (O(1) delta append)."""
+        tup = self._check_width(tuple(row))
+        encode = self.dictionary.encode
+        self._apply_one(tuple(encode(v) for v in tup), True)
+
+    def discard(self, row: Sequence[Value]) -> None:
+        """Remove a tuple if present, from its owning shard (O(1))."""
+        tup = self._check_width(tuple(row))
+        coded = []
+        for value in tup:
+            code = self.dictionary.encode_existing(value)
+            if code is None:
+                return  # value unseen => tuple cannot be stored
+            coded.append(code)
+        self._apply_one(tuple(coded), False)
+
+    def apply_coded(self, coded: Sequence[int], insert: bool = True) -> None:
+        """One insert/delete of an already-encoded tuple, routed to
+        its owning shard (the code-level counterpart of
+        :meth:`add`/:meth:`discard`)."""
+        if len(coded) != self.arity:
+            raise ValueError(
+                f"coded row of width {len(coded)} for arity {self.arity}"
+            )
+        self._apply_one(tuple(int(c) for c in coded), insert)
+
+    def add_coded_batch(self, codes: np.ndarray) -> None:
+        """Bulk-insert already-encoded rows, hash-routed to the shards
+        (a history barrier, like the unsharded counterpart)."""
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 2:
+            codes = codes.reshape(len(codes), self.arity)
+        if not len(codes):
+            return
+        ids = self._route_codes(codes)
+        for index, shard in enumerate(self._shards):
+            part = codes[ids == index]
+            if len(part):
+                shard.add_coded_batch(part)
+        self._invalidate()
+        self._rebase()
+
+    def add_all(self, rows: Iterable[Sequence[Value]]) -> None:
+        """Batched ingestion: encode once, route whole code batches.
+
+        One encode pass, one vectorized hash-routing pass, then each
+        shard receives its sub-batch as a code matrix.  Small batches
+        (``<= DELTA_COMPACT_MIN`` rows) route through the shards'
+        delta segments and keep history; larger ones are per-shard
+        bulk rewrites and act as a global history barrier.
+        """
+        fresh = self.dictionary.encode_rows(
+            (self._check_width(tuple(r)) for r in rows), self.arity
+        )
+        if not len(fresh):
+            return
+        if len(fresh) <= DELTA_COMPACT_MIN:
+            for coded in map(tuple, fresh.tolist()):
+                self._apply_one(coded, True)
+            return
+        self.add_coded_batch(fresh)
+
+    def retain(self, predicate) -> int:
+        """Keep only tuples satisfying ``predicate`` (per-shard scan).
+
+        Same semantics as the unsharded ``retain``: evaluated on the
+        merged view, and a removing ``retain`` is a history barrier.
+        """
+        removed = 0
+        for shard in self._shards:
+            removed += shard.retain(predicate)
+        if removed:
+            self._invalidate()
+            self._rebase()
+        return removed
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def codes(self) -> np.ndarray:
+        """The *coalesced* global code matrix (shard concatenation).
+
+        Correct for every generic columnar consumer, but it
+        materializes all shards into one array — shard-aware pipelines
+        read :attr:`shards` instead.  Multi-shard coalesces are
+        reported through :func:`note_coalesce`.
+        """
+        if self._coalesced is None:
+            parts = [shard.codes() for shard in self._shards]
+            if len(parts) == 1:
+                self._coalesced = parts[0]
+            else:
+                note_coalesce(sum(len(part) for part in parts))
+                self._coalesced = np.concatenate(parts, axis=0)
+        return self._coalesced
+
+    def __len__(self) -> int:
+        # Shards are disjoint (routing is deterministic per tuple).
+        return sum(len(shard) for shard in self._shards)
+
+    def is_empty(self) -> bool:
+        return all(shard.is_empty() for shard in self._shards)
+
+    def has_coded(self, coded: Sequence[int]) -> bool:
+        return self._shards[self._owning_shard(coded)].has_coded(coded)
+
+    def distinct_values(self, column: int) -> set:
+        (col,) = self._check_columns((column,))
+        out: set = set()
+        for shard in self._shards:
+            out |= shard.distinct_values(col)
+        return out
+
+    def active_domain(self) -> set:
+        out: set = set()
+        for shard in self._shards:
+            out |= shard.active_domain()
+        return out
+
+    def copy(self, name: Optional[str] = None) -> "ShardedColumnarRelation":
+        """An independent copy with the same partitioning (shared dict)."""
+        out = ShardedColumnarRelation(
+            name or self.name,
+            self.arity,
+            dictionary=self.dictionary,
+            shard_count=self.shard_count,
+            key_column=self.key_column,
+        )
+        out._shards = [shard.copy() for shard in self._shards]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedColumnarRelation({self.name!r}, arity={self.arity}, "
+            f"size={len(self)}, shards={self.shard_count})"
+        )

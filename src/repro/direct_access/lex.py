@@ -46,6 +46,16 @@ gone (compaction past the threshold, or a bulk rewrite) refresh falls
 back to a full rebuild — the regime where patching would not have
 been cheaper anyway.
 
+**Sharded inputs.**  Direct access needs globally sorted per-node
+stores, so frames of the sharded backend
+(:class:`repro.joins.vectorized.ShardedColumnarFrame`) coalesce per
+node at build time — an inherently global structure.  Counting and
+aggregation never pay that: the engine serves ``count()`` /
+``aggregate()`` through the FAQ message passing, which on sharded
+frames computes one message per shard and merges them in the separator
+domain (:mod:`repro.semiring.faq`), so only an explicit ``access``
+demand materializes anything shard-global.
+
 When no layered tree exists (a disruptive trio), the ``strict=False``
 fallback materializes and sorts the whole result — the superlinear
 preprocessing that Lemma 3.23 proves necessary.
@@ -90,6 +100,34 @@ from repro.joins.vectorized import columnar_family
 from repro.query.cq import ConjunctiveQuery
 
 Row = Tuple[object, ...]
+
+
+def value_rank_table(dictionary, codes: np.ndarray) -> np.ndarray:
+    """An order-preserving ``code -> rank`` table for the used codes.
+
+    Dictionary codes are assigned first-seen, not value-ordered, so
+    sorting raw codes would realize insertion order.  This returns a
+    dense int64 table mapping every code appearing in ``codes`` to its
+    rank in the sorted order of the *decoded values*; a lexsort over
+    rank-remapped columns then realizes the value order the access
+    contracts promise, without decoding any row.  Values must be
+    mutually comparable (the same constraint the Python backend's sort
+    has).  Entries for unused codes are 0 — look up used codes only.
+
+    Shared by the lexicographic stores here and the sum-order covering
+    path (:mod:`repro.direct_access.sum_order`), so the two access
+    structures cannot drift in how they realize value order.
+    """
+    used = np.unique(codes)
+    if not len(used):
+        return np.zeros(1, dtype=np.int64)
+    values = dictionary.values()
+    by_value = sorted(used.tolist(), key=lambda code: values[code])
+    table = np.zeros(int(used[-1]) + 1, dtype=np.int64)
+    table[np.asarray(by_value, dtype=np.int64)] = np.arange(
+        len(by_value), dtype=np.int64
+    )
+    return table
 
 
 class _NodeStore:
@@ -457,7 +495,6 @@ class LexDirectAccess:
             and dictionary is not None
         )
         cardinality = len(dictionary)
-        values = dictionary.values()
         stores: Dict[int, _ColumnarNodeStore] = {}
         for node in reversed(layered.preorder):
             if node == VIRTUAL_ROOT:
@@ -502,15 +539,9 @@ class LexDirectAccess:
             # realizes the *value* order the access contract promises.
             if own_pos and n:
                 own_codes = codes[:, own_pos]
-                used = np.unique(own_codes)
-                by_value = sorted(
-                    used.tolist(), key=lambda code: values[code]
-                )
-                table = np.zeros(int(used[-1]) + 1, dtype=np.int64)
-                table[np.asarray(by_value, dtype=np.int64)] = np.arange(
-                    len(by_value), dtype=np.int64
-                )
-                own_ranks = table[own_codes]
+                own_ranks = value_rank_table(dictionary, own_codes)[
+                    own_codes
+                ]
             else:
                 own_ranks = np.empty((n, 0), dtype=np.int64)
             sep_codes = codes[:, sep_pos] if sep_pos else codes[:, :0]

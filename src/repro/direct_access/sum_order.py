@@ -8,17 +8,31 @@ preprocessing iff some atom contains *all* variables — then the
 whole preprocessing.  Otherwise two variables share no atom, Lemma 3.25
 embeds 3SUM, and superlinear preprocessing is unavoidable — realized
 here by the materializing fallback the benchmarks measure.
+
+**Columnar covering path.**  When the reduced covering frame is
+columnar, the preprocessing is an array program sharing the
+value-rank machinery of :func:`repro.direct_access.lex.
+value_rank_table`: per-row weights are one table gather + columnwise
+sum over the code matrix, the sort is one ``np.lexsort`` over
+(value-ranked columns as tie-breaks, weight column as primary key),
+and no row is decoded during preprocessing — ``access(i)`` decodes
+exactly the returned answer, matching the lex stores' decode budget.
+The decoded-and-sorted list of the scalar path is gone.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.db.database import Database
+from repro.direct_access.lex import value_rank_table
 from repro.hypergraph.gyo import is_acyclic, join_tree
 from repro.joins.generic_join import generic_join
 from repro.joins.semijoin import atom_frames, full_reducer_pass
+from repro.joins.vectorized import ColumnarFrame
 from repro.query.cq import ConjunctiveQuery
 
 Row = Tuple[object, ...]
@@ -56,10 +70,12 @@ class SumOrderDirectAccess:
 
     ``weights`` maps domain values to numbers (missing values weigh 0).
     For join queries with a covering atom the preprocessing is
-    Õ(m log m): reduce, then sort the covering relation.  Otherwise
+    Õ(m log m): reduce, then sort the covering relation — over code
+    columns with zero row decodes when the frame is columnar
+    (``store_backend`` reports which path ran).  Otherwise
     (``strict=False``) the full result is materialized and sorted.
-    Ties are broken by the tuple itself so the order is total and
-    deterministic.
+    Ties are broken by the tuple itself (value order) so the order is
+    total and deterministic on both paths.
     """
 
     def __init__(
@@ -77,10 +93,21 @@ class SumOrderDirectAccess:
         self.query = query
         self.head = tuple(query.head)
         self.weights = dict(weights)
+        self.store_backend = "python"
+        self._sorted_codes: Optional[np.ndarray] = None
+        self._dictionary = None
+        self._answers: List[Row] = []
         cover = covering_atom_index(query)
         if cover is not None and is_acyclic(query.hypergraph()):
             self.mode = "covering"
-            answers = self._reduced_covering_rows(query, db, cover)
+            frame = self._reduced_covering_frame(query, db, cover)
+            if isinstance(frame, ColumnarFrame):
+                self._build_columnar(frame)
+                return
+            answers = [
+                tuple(row[p] for p in frame.positions(self.head))
+                for row in frame.rows
+            ]
         elif strict:
             pair = uncovered_pair(query)
             raise ValueError(
@@ -92,27 +119,62 @@ class SumOrderDirectAccess:
         else:
             self.mode = "materialized"
             answers = list(generic_join(query, db))
-        self._answers: List[Row] = answers
-        self._keys: List[float] = []
-        decorated = [
-            (self.answer_weight(row), row) for row in self._answers
-        ]
+        decorated = [(self.answer_weight(row), row) for row in answers]
         decorated.sort()
         self._answers = [row for _, row in decorated]
         self._keys = [weight for weight, _ in decorated]
 
-    def _reduced_covering_rows(
+    def _reduced_covering_frame(
         self, query: ConjunctiveQuery, db: Database, cover: int
-    ) -> List[Row]:
+    ):
         tree = join_tree(query.hypergraph())
         reduced = full_reducer_pass(
             dict(enumerate(atom_frames(query, db))), tree
         )
-        frame = reduced[cover]
-        return [
-            tuple(row[p] for p in frame.positions(self.head))
-            for row in frame.rows
-        ]
+        return reduced[cover]
+
+    def _build_columnar(self, frame: ColumnarFrame) -> None:
+        """Sort the covering frame's *codes* by (weight, value ranks).
+
+        One weight-table gather per column realizes the answer weights
+        (summed left to right, bit-identical to the scalar path's
+        ``sum``); the value-rank remap makes the lexsort's tie-break
+        the value order the scalar path gets by sorting decoded
+        tuples.  Zero decodes — ``access`` decodes one answer.
+        """
+        self.store_backend = "columnar"
+        dictionary = frame.dictionary
+        self._dictionary = dictionary
+        codes = frame.codes()[:, list(frame.positions(self.head))]
+        n, width = codes.shape
+        row_weights = np.zeros(n, dtype=np.float64)
+        if n and width:
+            used = np.unique(codes)
+            values = dictionary.values()
+            weight_table = np.zeros(int(used[-1]) + 1, dtype=np.float64)
+            get = self.weights.get
+            for code in used.tolist():
+                weight_table[code] = get(values[code], 0.0)
+            for j in range(width):
+                row_weights = row_weights + weight_table[codes[:, j]]
+            # One rank table per column: the scalar path's tie-break
+            # compares tuples position-wise, so values are only ever
+            # compared within a column — a single cross-column table
+            # would impose (and require) a global order that mixed
+            # column types need not have.
+            ranks = np.empty_like(codes)
+            for j in range(width):
+                column = codes[:, j]
+                ranks[:, j] = value_rank_table(dictionary, column)[column]
+            order = np.lexsort(
+                tuple(
+                    [ranks[:, j] for j in range(width - 1, -1, -1)]
+                    + [row_weights]
+                )
+            )
+            codes, row_weights = codes[order], row_weights[order]
+        self._sorted_codes = codes
+        self._keys = row_weights
 
     # ------------------------------------------------------------------
     # the direct access interface
@@ -122,13 +184,20 @@ class SumOrderDirectAccess:
         return sum(self.weights.get(value, 0.0) for value in row)
 
     def __len__(self) -> int:
+        if self._sorted_codes is not None:
+            return len(self._sorted_codes)
         return len(self._answers)
 
     def access(self, index: int) -> Row:
         """The index-th lightest answer (IndexError past the end)."""
-        if index < 0 or index >= len(self._answers):
+        if index < 0 or index >= len(self):
             raise IndexError(
-                f"index {index} out of range for {len(self._answers)} answers"
+                f"index {index} out of range for {len(self)} answers"
+            )
+        if self._sorted_codes is not None:
+            decode = self._dictionary.decode
+            return tuple(
+                decode(int(code)) for code in self._sorted_codes[index]
             )
         return self._answers[index]
 

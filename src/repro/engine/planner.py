@@ -31,7 +31,12 @@ from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.classify.classifier import classify
 from repro.classify.report import QueryClassification
-from repro.db.interface import DEFAULT_COLUMNAR_CUTOFF, preferred_backend
+from repro.db.interface import (
+    DEFAULT_COLUMNAR_CUTOFF,
+    DEFAULT_SHARD_CUTOFF,
+    preferred_backend,
+    preferred_shard_count,
+)
 from repro.direct_access.layered import find_layered_tree
 from repro.hypergraph.freeconnex import free_variable_bags
 from repro.hypergraph.trios import trio_free_order
@@ -88,6 +93,10 @@ class Plan:
     maintained_count: bool
     classification: QueryClassification
     routes: Tuple[PlanRoute, ...]
+    # 1 = unsharded; > 1 only when backend == "sharded": the hot
+    # pipelines then run one message per shard and merge (group_reduce
+    # over the concatenation of per-shard messages).
+    shard_count: int = 1
 
     def route(self, capability: str) -> PlanRoute:
         """Look up one capability's route by name."""
@@ -110,6 +119,12 @@ class Plan:
                 f" rho*={c.agm_exponent:.3f}"
             ),
         ]
+        if self.backend == "sharded":
+            lines.append(
+                f"  shards:   {self.shard_count} (hash-partitioned on"
+                " the key column; one FAQ message per shard, merged by"
+                " group_reduce over their concatenation)"
+            )
         if self.order is not None:
             lines.append(f"  order:    {' > '.join(self.order)}")
         for route in self.routes:
@@ -167,32 +182,53 @@ def plan_query(
     order: Optional[Sequence[str]] = None,
     backend: Optional[str] = None,
     cutoff: Optional[int] = None,
+    shard_cutoff: Optional[int] = None,
+    stored_shard_count: Optional[int] = None,
 ) -> Plan:
     """Classify ``query`` and select pipelines for every capability.
 
     ``size``/``stored_backend`` describe the input (for the backend
-    cutoff); ``order`` fixes the lexicographic access order (default:
+    cutoffs); ``order`` fixes the lexicographic access order (default:
     the planner searches for an admissible one); ``backend`` forces
-    the execution backend.  Pure — no relation is read.
+    the execution backend.  Above ``shard_cutoff`` tuples (default
+    :data:`repro.db.interface.DEFAULT_SHARD_CUTOFF`) the plan picks
+    the ``"sharded"`` backend and a shard count sized by
+    :func:`repro.db.interface.preferred_shard_count` (or the stored
+    partitioning, when the database is already sharded —
+    ``stored_shard_count``); ``explain()`` then reports the
+    partitioning.  Pure — no relation is read.
     """
     classification = classify(query)
     if backend is not None:
         chosen = backend
         reason = "forced by caller"
     else:
-        chosen = preferred_backend(size, stored_backend, cutoff)
+        chosen = preferred_backend(size, stored_backend, cutoff, shard_cutoff)
         cut = DEFAULT_COLUMNAR_CUTOFF if cutoff is None else cutoff
-        if stored_backend == "columnar":
-            reason = "database already columnar"
+        shard_cut = (
+            DEFAULT_SHARD_CUTOFF if shard_cutoff is None else shard_cutoff
+        )
+        if chosen == stored_backend and chosen in ("columnar", "sharded"):
+            reason = f"database already {chosen}"
+        elif chosen == "sharded":
+            reason = f"m={size} >= shard cutoff {shard_cut}"
         elif chosen == "columnar":
             reason = f"m={size} >= cutoff {cut}"
         else:
             reason = f"m={size} < cutoff {cut}"
+    if chosen != "sharded":
+        shard_count = 1
+    elif stored_backend == "sharded" and stored_shard_count:
+        shard_count = stored_shard_count
+    else:
+        shard_count = preferred_shard_count(size)
 
     if query.is_boolean():
         if order is not None:
             raise ValueError("Boolean queries admit no answer order")
-        return _plan_boolean(query, classification, chosen, reason)
+        return _plan_boolean(
+            query, classification, chosen, reason, shard_count
+        )
 
     head = tuple(query.head)
     bags = (
@@ -239,6 +275,7 @@ def plan_query(
         maintained_count=maintained,
         classification=classification,
         routes=routes,
+        shard_count=shard_count,
     )
 
 
@@ -247,6 +284,7 @@ def _plan_boolean(
     classification: QueryClassification,
     backend: str,
     reason: str,
+    shard_count: int = 1,
 ) -> Plan:
     verdict = classification.verdict("boolean")
     if classification.acyclic:
@@ -276,6 +314,7 @@ def _plan_boolean(
         maintained_count=False,
         classification=classification,
         routes=(decide, count),
+        shard_count=shard_count,
     )
 
 

@@ -16,15 +16,19 @@ prepared queries stay live::
 **Execution backends and mirrors.**  The planner picks the execution
 backend per prepared query (columnar above
 :data:`repro.db.interface.DEFAULT_COLUMNAR_CUTOFF` total tuples,
-python below; override with ``prepare(backend=...)`` or the session's
+hash-partitioned *sharded* above
+:data:`repro.db.interface.DEFAULT_SHARD_CUTOFF`, python below;
+override with ``prepare(backend=...)`` or the session's
 ``columnar_cutoff``).  When the chosen backend differs from the stored
 one, the session materializes a *mirror* — a one-time
 :meth:`~repro.db.database.Database.to_backend` conversion — and keeps
 it in sync by applying every :meth:`add` / :meth:`discard` to the
-primary and all mirrors.  Updates must therefore flow through the
-session; mutating ``session.db`` relations directly while a mirror
-exists desynchronizes the mirror (prepared queries on the primary
-still self-repair through their mutation stamps).
+primary and all mirrors.  Mirrors may be sharded: a sharded mirror's
+relations route each update to the owning shard internally, so the
+session's update path is backend-agnostic.  Updates must flow through
+the session; mutating ``session.db`` relations directly while a
+mirror exists desynchronizes the mirror (prepared queries on the
+primary still self-repair through their mutation stamps).
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from repro.db.database import Database
 from repro.db.interface import (
     DEFAULT_COLUMNAR_CUTOFF,
     check_backend,
+    preferred_backend,
 )
 from repro.engine.planner import plan_query
 from repro.engine.prepared import AnswerSet, PreparedQuery
@@ -74,6 +79,14 @@ class Session:
         self.db = db
         self.columnar_cutoff = columnar_cutoff
         self._mirrors: dict = {}
+        # Prepared-plan cache: (canonical query text, order, resolved
+        # backend, default semiring) -> PreparedQuery.  Reusing the
+        # PreparedQuery also reuses its lazily built (and incrementally
+        # maintained) answer structures, so a repeated prepare() of the
+        # same query skips re-classification *and* re-preprocessing.
+        # Evicted wholesale whenever the relation schema changes.
+        self._prepared: dict = {}
+        self._schema_token: tuple = ()
 
     # ------------------------------------------------------------------
     # preparing and running queries
@@ -94,12 +107,40 @@ class Session:
         forces the execution backend.  Relations the query mentions
         are created empty when absent, so serving can start before
         ingestion.
+
+        Repeated ``prepare()`` of the same (query, order, backend,
+        semiring) returns the cached :class:`PreparedQuery` — no
+        re-classification, and its maintained structures carry over.
+        The cache key includes the *resolved* backend, so a database
+        growing across a planner cutoff replans instead of serving a
+        stale backend choice, and the cache is evicted whenever the
+        relation schema changes (a relation created or dropped).
         """
         if isinstance(query, str):
             query = parse_query(query)
         if backend is not None:
             check_backend(backend)
         self._ensure_relations(query)
+        schema_token = tuple(
+            sorted((rel.name, rel.arity) for rel in self.db)
+        )
+        if schema_token != self._schema_token:
+            self._prepared.clear()
+            self._schema_token = schema_token
+        resolved = backend
+        if resolved is None:
+            resolved = preferred_backend(
+                self.db.size(), self.db.backend, self.columnar_cutoff
+            )
+        key = (
+            str(query),
+            tuple(order) if order is not None else None,
+            resolved,
+            semiring,
+        )
+        cached = self._prepared.get(key)
+        if cached is not None:
+            return cached
         plan = plan_query(
             query,
             size=self.db.size(),
@@ -107,9 +148,12 @@ class Session:
             order=order,
             backend=backend,
             cutoff=self.columnar_cutoff,
+            stored_shard_count=self._stored_shard_count(),
         )
         execution_db = self._execution_db(plan.backend)
-        return PreparedQuery(self, query, plan, execution_db, semiring)
+        prepared = PreparedQuery(self, query, plan, execution_db, semiring)
+        self._prepared[key] = prepared
+        return prepared
 
     def execute(self, query: QueryLike, **kwargs) -> AnswerSet:
         """``prepare(...).run()`` in one call (ad-hoc queries)."""
@@ -158,6 +202,18 @@ class Session:
         for atom in query.atoms:
             for db in self._all_databases():
                 db.ensure_relation(atom.relation, atom.arity)
+
+    def _stored_shard_count(self) -> Optional[int]:
+        """The primary's actual partitioning, for plan reporting."""
+        if self.db.backend != "sharded":
+            return None
+        if self.db.shard_count is not None:
+            return self.db.shard_count
+        for rel in self.db:
+            count = getattr(rel, "shard_count", None)
+            if count is not None:
+                return count
+        return None
 
     def _execution_db(self, backend: str) -> Database:
         if backend == self.db.backend:

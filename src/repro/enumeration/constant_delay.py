@@ -10,12 +10,13 @@ Preprocessing (Theorem 3.17's upper bound, all O(m)):
 On Python-backend frames step 2 builds one dict-of-lists per node.  On
 columnar frames it is an array program: one ``np.lexsort`` per node
 (separator columns major) materializes the adjacency as contiguous
-sorted blocks, block boundaries come from one vectorized
-change-detection pass, and the sorted code rows are exported with a
-single bulk ``tolist`` — no tuple is decoded during preprocessing.
-Enumeration then binds dictionary *codes* and decodes exactly one
-answer per yield, so the decode cost is part of the (constant) delay,
-not the preprocessing.
+sorted blocks and block boundaries come from one vectorized
+change-detection pass — the sorted matrices stay *code matrices*, so
+no tuple is decoded and no per-row list is materialized during
+preprocessing.  Enumeration walks the matrices with a row cursor,
+binds dictionary *codes*, and decodes exactly one answer per yield, so
+the decode cost is part of the (constant) delay, not the
+preprocessing.
 
 Enumeration walks the join tree depth-first.  Because the frames are
 fully reduced, *every* partial assignment extends to an answer: there
@@ -262,7 +263,7 @@ class ConstantDelayEnumerator:
             self._blocks: Dict[
                 int,
                 Tuple[
-                    List[List[int]],
+                    np.ndarray,
                     Dict[Tuple[int, ...], Tuple[int, int]],
                 ],
             ] = {}
@@ -285,12 +286,16 @@ class ConstantDelayEnumerator:
 
         Sort the code matrix with the separator columns as major keys,
         detect block boundaries vectorized, and map each coded
-        separator key to its ``(start, end)`` slice over a bulk
-        ``tolist`` export of the sorted rows.  Block-internal order is
-        code order — deterministic, but backend-specific (value order
-        would require comparing decoded values, which this phase
-        promises not to do).  Blocks are per-node, which is what lets
-        the maintained refresh rebuild one drifted node in isolation.
+        separator key to its ``(start, end)`` slice over the sorted
+        matrix.  The matrix is kept *as a code matrix* — enumeration
+        walks it with a row cursor and decodes one answer per yield,
+        so the preprocessing performs no output-sized ``tolist``
+        export (the ROADMAP's enumeration export gap).  Block-internal
+        order is code order — deterministic, but backend-specific
+        (value order would require comparing decoded values, which
+        this phase promises not to do).  Blocks are per-node, which is
+        what lets the maintained refresh rebuild one drifted node in
+        isolation.
         """
         reduced = self._reduced
         assert reduced is not None
@@ -315,7 +320,7 @@ class ConstantDelayEnumerator:
                 ends.tolist(),
             )
         }
-        self._blocks[node] = (codes.tolist(), slices)
+        self._blocks[node] = (codes, slices)
 
     # ------------------------------------------------------------------
     # enumeration

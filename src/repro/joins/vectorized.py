@@ -52,14 +52,16 @@ from repro.db.columnar import (
     common_keys,
     group_rows,
     match_pairs,
+    pack_rows,
     unique_rows,
 )
 from repro.db.interface import BACKENDS, check_backend
+from repro.db.sharded import ShardedColumnarRelation, note_coalesce
 from repro.joins.frame import Frame
 
 Row = Tuple[object, ...]
 
-PYTHON_BACKEND, COLUMNAR_BACKEND = BACKENDS
+PYTHON_BACKEND, COLUMNAR_BACKEND, SHARDED_BACKEND = BACKENDS
 
 
 class ColumnarFrame:
@@ -371,10 +373,296 @@ class ColumnarFrame:
 
 
 # ----------------------------------------------------------------------
+# sharded frames: shard x build broadcasts
+# ----------------------------------------------------------------------
+# A semijoin build table (boolean array over the packed-key span) is
+# used when the span stays within max(_TABLE_SPAN_MIN, 4*cardinality)
+# entries — i.e. when it is proportional to the merged separator
+# domain, the scratch size the sharded substrate allows.  Wider spans
+# fall back to per-shard-deduplicated sorted keys.
+_TABLE_SPAN_MIN = 1 << 20
+
+
+def _shard_build_keys(
+    frame, shared: Tuple[str, ...], cardinality: int
+) -> Optional[np.ndarray]:
+    """Packed build-side keys of ``frame``'s projection onto ``shared``.
+
+    For a sharded build side the keys are *deduplicated per shard*
+    before concatenating, so the build table is bounded by the merged
+    separator domain instead of the global row count — this is what
+    keeps the full-reducer semijoins on the aggregate path free of
+    global materializations.  Returns ``None`` when the keys cannot be
+    packed into 64 bits (callers fall back to the coalesced path).
+    """
+    positions = list(frame.positions(shared))
+    if isinstance(frame, ShardedColumnarFrame):
+        parts: List[np.ndarray] = []
+        for shard in frame.shards:
+            keys = pack_rows(shard.codes()[:, positions], cardinality)
+            if keys is None:
+                return None
+            parts.append(np.unique(keys))
+        return np.concatenate(parts)
+    return pack_rows(frame.codes()[:, positions], cardinality)
+
+
+def _shard_build_table(
+    frame, shared: Tuple[str, ...], cardinality: int, span: int
+) -> Optional[np.ndarray]:
+    """Boolean membership table over the packed-key span of ``frame``.
+
+    One scatter per build part, no sorts: probing a shard is then one
+    O(shard) gather.  ``None`` when some part's keys cannot be packed.
+    """
+    parts = (
+        frame.shards
+        if isinstance(frame, ShardedColumnarFrame)
+        else [frame]
+    )
+    table = np.zeros(span, dtype=bool)
+    for part in parts:
+        positions = list(part.positions(shared))
+        keys = pack_rows(part.codes()[:, positions], cardinality)
+        if keys is None:
+            return None
+        table[keys] = True
+    return table
+
+
+class ShardedColumnarFrame(ColumnarFrame):
+    """A columnar frame partitioned into per-shard code matrices.
+
+    Subclasses :class:`ColumnarFrame`, so every consumer of the frame
+    algebra accepts it; the inherited operators see the *coalesced*
+    matrix through the lazy ``_codes`` property (correct, merely
+    unsharded, and reported via
+    :func:`repro.db.sharded.note_coalesce`), while the hot operators
+    below run shard-parallel-by-construction:
+
+    - **semijoin** — one build table of per-shard-deduplicated packed
+      keys (bounded by the merged separator domain), broadcast against
+      every shard's probe keys;
+    - **join** — the build side is broadcast against each shard
+      (shard x build), and the output inherits the partitioning
+      because the probe side keeps all its columns;
+    - **project / select_in / rename / reorder** — per-shard maps;
+      a projection that drops the partition variable coalesces (rows
+      from different shards may collide, so per-shard dedup would no
+      longer be global dedup).
+
+    Invariant: the shard frames hold pairwise-disjoint row sets — every
+    row lives in the shard given by hashing its ``partition_var`` code
+    (``partition_var=None`` only for width-0 frames, where at most one
+    shard is nonempty).
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        shards: Sequence[ColumnarFrame],
+        dictionary: Dictionary,
+        partition_var: Optional[str] = None,
+    ) -> None:
+        self.variables = tuple(variables)
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError("frame variables must be distinct")
+        self.shards: List[ColumnarFrame] = list(shards)
+        if not self.shards:
+            raise ValueError("a sharded frame needs at least one shard")
+        self.dictionary = dictionary
+        self.partition_var = (
+            partition_var if partition_var in self.variables else None
+        )
+        self._rows_cache: Optional[Set[Row]] = None
+        self._coalesced: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_sharded_atom(
+        cls, relation: ShardedColumnarRelation, variables: Sequence[str]
+    ) -> "ShardedColumnarFrame":
+        """Bind a sharded relation to atom variables, shard by shard.
+
+        Repeated-variable selections are applied per shard (vectorized
+        column compares on each shard's matrix).  The frame stays
+        partitioned on the relation's key column's variable: routing
+        hashed that column's code, and rows passing the equality
+        selection carry the same code at the variable's first
+        occurrence.
+        """
+        variables = tuple(variables)
+        if len(variables) != relation.arity:
+            raise ValueError(
+                f"atom has {len(variables)} positions, relation "
+                f"{relation.name} has arity {relation.arity}"
+            )
+        shard_frames = [
+            ColumnarFrame.from_atom(shard, variables)
+            for shard in relation.shards
+        ]
+        partition_var = (
+            variables[relation.key_column] if relation.arity else None
+        )
+        return cls(
+            shard_frames[0].variables,
+            shard_frames,
+            relation.dictionary,
+            partition_var,
+        )
+
+    # ------------------------------------------------------------------
+    # coalescing (compatibility with every inherited operator)
+    # ------------------------------------------------------------------
+    @property
+    def _codes(self) -> np.ndarray:
+        if self._coalesced is None:
+            parts = [shard.codes() for shard in self.shards]
+            if len(parts) == 1:
+                self._coalesced = parts[0]
+            else:
+                note_coalesce(sum(len(part) for part in parts))
+                self._coalesced = np.concatenate(parts, axis=0)
+        return self._coalesced
+
+    def to_plain(self) -> ColumnarFrame:
+        """The equivalent single-matrix :class:`ColumnarFrame`."""
+        return ColumnarFrame(
+            self.variables, self._codes, self.dictionary, _distinct=True
+        )
+
+    def __len__(self) -> int:
+        # Shards are disjoint by the partitioning invariant.
+        return sum(len(shard) for shard in self.shards)
+
+    def is_empty(self) -> bool:
+        return all(shard.is_empty() for shard in self.shards)
+
+    def _resharded(
+        self,
+        shards: Sequence[ColumnarFrame],
+        variables: Optional[Sequence[str]] = None,
+        partition_var: Optional[str] = None,
+    ) -> "ShardedColumnarFrame":
+        return ShardedColumnarFrame(
+            variables if variables is not None else self.variables,
+            shards,
+            self.dictionary,
+            partition_var if partition_var is not None
+            else self.partition_var,
+        )
+
+    # ------------------------------------------------------------------
+    # shard-parallel algebra
+    # ------------------------------------------------------------------
+    def project(self, variables: Sequence[str]) -> ColumnarFrame:
+        if self.partition_var is not None and self.partition_var in variables:
+            # Equal projected rows agree on the partition variable, so
+            # they live in the same shard: per-shard dedup is global.
+            return self._resharded(
+                [shard.project(variables) for shard in self.shards],
+                variables=tuple(variables),
+            )
+        return self.to_plain().project(variables)
+
+    def rename(self, mapping: Dict[str, str]) -> "ShardedColumnarFrame":
+        renamed_partition = (
+            mapping.get(self.partition_var, self.partition_var)
+            if self.partition_var is not None
+            else None
+        )
+        return ShardedColumnarFrame(
+            tuple(mapping.get(v, v) for v in self.variables),
+            [shard.rename(mapping) for shard in self.shards],
+            self.dictionary,
+            renamed_partition,
+        )
+
+    def select_in(
+        self, variables: Sequence[str], allowed: Set[Row]
+    ) -> "ShardedColumnarFrame":
+        return self._resharded(
+            [shard.select_in(variables, allowed) for shard in self.shards]
+        )
+
+    def reorder(self, variables: Sequence[str]) -> "ShardedColumnarFrame":
+        return self._resharded(
+            [shard.reorder(variables) for shard in self.shards],
+            variables=tuple(variables),
+        )
+
+    def semijoin(self, other) -> ColumnarFrame:
+        shared = tuple(v for v in self.variables if v in other.variables)
+        if not shared:
+            return (
+                self
+                if not other.is_empty()
+                else self.empty_like(self.variables)
+            )
+        other = self._coerce(other)
+        cardinality = len(self.dictionary)
+        positions = list(self.positions(shared))
+        probes: List[np.ndarray] = []
+        for shard in self.shards:
+            probe = pack_rows(shard.codes()[:, positions], cardinality)
+            if probe is None:  # keys too wide to pack: coalesce
+                return self.to_plain().semijoin(other)
+            probes.append(probe)
+        # Domain-sized packed span -> one boolean scatter table (no
+        # sorts, one gather per probe shard); wider spans fall back to
+        # sorted per-shard-deduplicated build keys.
+        bits = (
+            max(int(cardinality - 1).bit_length(), 1)
+            if cardinality > 1
+            else 1
+        )
+        span_bits = min(bits * len(shared), 63)
+        span = 1 << span_bits
+        table: Optional[np.ndarray] = None
+        if span <= max(_TABLE_SPAN_MIN, 4 * cardinality):
+            table = _shard_build_table(other, shared, cardinality, span)
+        if table is not None:
+            masks = [table[probe] for probe in probes]
+        else:
+            build = _shard_build_keys(other, shared, cardinality)
+            if build is None:
+                return self.to_plain().semijoin(other)
+            masks = [np.isin(probe, build) for probe in probes]
+        new_shards = [
+            ColumnarFrame(
+                shard.variables,
+                shard.codes()[mask],
+                self.dictionary,
+                _distinct=True,
+            )
+            for shard, mask in zip(self.shards, masks)
+        ]
+        return self._resharded(new_shards)
+
+    def join(self, other) -> ColumnarFrame:
+        other = self._coerce(other)
+        if isinstance(other, ShardedColumnarFrame):
+            other = other.to_plain()  # the broadcast build side
+        new_shards = [shard.join(other) for shard in self.shards]
+        # The join keeps every probe-side column, so the output stays
+        # partitioned on the same variable.
+        return self._resharded(
+            new_shards, variables=new_shards[0].variables
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedColumnarFrame({self.variables}, {len(self)} rows, "
+            f"{len(self.shards)} shards on {self.partition_var!r})"
+        )
+
+
+# ----------------------------------------------------------------------
 # backend dispatch helpers
 # ----------------------------------------------------------------------
 def frame_backend(frame) -> str:
     """Which backend a frame object belongs to."""
+    if isinstance(frame, ShardedColumnarFrame):
+        return SHARDED_BACKEND
     return (
         COLUMNAR_BACKEND
         if isinstance(frame, ColumnarFrame)
@@ -384,6 +672,8 @@ def frame_backend(frame) -> str:
 
 def relation_backend(relation) -> str:
     """Which backend a relation object belongs to."""
+    if isinstance(relation, ShardedColumnarRelation):
+        return SHARDED_BACKEND
     return (
         COLUMNAR_BACKEND
         if isinstance(relation, ColumnarRelation)
@@ -414,6 +704,8 @@ def columnar_family(frames: Iterable) -> Optional[Dictionary]:
 
 def frame_for_atom(relation, variables: Sequence[str]):
     """An atom frame of the backend matching the stored relation."""
+    if isinstance(relation, ShardedColumnarRelation):
+        return ShardedColumnarFrame.from_sharded_atom(relation, variables)
     if isinstance(relation, ColumnarRelation):
         return ColumnarFrame.from_atom(relation, variables)
     return Frame.from_atom(relation, variables)

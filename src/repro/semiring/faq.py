@@ -66,7 +66,11 @@ from repro.hypergraph.jointree import JoinTree
 from repro.joins.frame import Frame
 from repro.joins.generic_join import generic_join
 from repro.joins.semijoin import atom_frames, full_reducer_pass
-from repro.joins.vectorized import ColumnarFrame, columnar_family
+from repro.joins.vectorized import (
+    ColumnarFrame,
+    ShardedColumnarFrame,
+    columnar_family,
+)
 from repro.query.cq import ConjunctiveQuery
 from repro.semiring.semirings import Semiring
 
@@ -500,19 +504,25 @@ def _aggregate_frames_columnar(
     some child cannot extend, then group by the parent separator and
     ⊕-reduce each segment.  Everything is O(n log n) array work; the
     only Python-level loop is over the (constant-size) tree.
+
+    **Sharded frames** (:class:`~repro.joins.vectorized.
+    ShardedColumnarFrame`) run the same recurrence shard by shard —
+    one (separator codes, weight column) message *per shard* — and
+    merge the per-shard messages with one
+    :func:`~repro.db.columnar.group_reduce` over their concatenation.
+    Because messages live in the merged separator domain, no array
+    larger than one shard (plus that domain) is ever materialized:
+    distributed aggregation is literally a merge of messages, with no
+    shared state beyond the append-only dictionary.
     """
     plus_ufunc, times_fn, _ = semiring.kernels()
     messages: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
     node_value: Dict[int, object] = {}
     for node in tree.bottom_up():
         frame = frames[node]
-        codes = frame.codes()
         cardinality = len(frame.dictionary)
-        if weights is None:
-            values = semiring.unit_column(len(codes))
-        else:
-            values = weights.column(node, frame)
-        alive = np.ones(len(codes), dtype=bool)
+        child_gathers: List[Tuple[List[int], Tuple[np.ndarray, np.ndarray]]]
+        child_gathers = []
         for child in tree.children(node):
             sep = tuple(
                 sorted(
@@ -520,26 +530,69 @@ def _aggregate_frames_columnar(
                     if v in frames[child].variables
                 )
             )
-            child_keys, child_values = messages.pop(child)
-            sub = codes[:, list(frame.positions(sep))]
-            index = lookup_rows(sub, child_keys, cardinality)
-            found = index >= 0
-            alive &= found
-            incoming = child_values[np.where(found, index, 0)]
-            # Dead rows pick up garbage here; they are masked out below.
-            values = times_fn(values, incoming)
-        if not alive.all():
-            codes = codes[alive]
-            values = values[alive]
+            child_gathers.append(
+                (list(frame.positions(sep)), messages.pop(child))
+            )
         sep_to_parent = tree.separator(node)
         parent_key_vars = tuple(
             sorted(v for v in frame.variables if v in sep_to_parent)
         )
-        sub = codes[:, list(frame.positions(parent_key_vars))]
-        representatives, group_ids, group_count = group_rows(
-            sub, cardinality
+        parent_pos = list(frame.positions(parent_key_vars))
+        shard_frames = (
+            frame.shards
+            if isinstance(frame, ShardedColumnarFrame)
+            else [frame]
         )
-        reduced = group_reduce(values, group_ids, group_count, plus_ufunc)
+        rep_parts: List[np.ndarray] = []
+        value_parts: List[np.ndarray] = []
+        empty_values = semiring.unit_column(0)
+        for shard_frame in shard_frames:
+            codes = shard_frame.codes()
+            if weights is None:
+                values = semiring.unit_column(len(codes))
+            else:
+                values = weights.column(node, shard_frame)
+            alive = np.ones(len(codes), dtype=bool)
+            for positions, (child_keys, child_values) in child_gathers:
+                sub = codes[:, positions]
+                index = lookup_rows(sub, child_keys, cardinality)
+                found = index >= 0
+                alive &= found
+                incoming = child_values[np.where(found, index, 0)]
+                # Dead rows pick up garbage here; masked out below.
+                values = times_fn(values, incoming)
+            if not alive.all():
+                codes = codes[alive]
+                values = values[alive]
+            sub = codes[:, parent_pos]
+            representatives, group_ids, group_count = group_rows(
+                sub, cardinality
+            )
+            reduced = group_reduce(
+                values, group_ids, group_count, plus_ufunc
+            )
+            if len(reduced):
+                rep_parts.append(representatives)
+                value_parts.append(reduced)
+            empty_values = values[:0]
+        if not rep_parts:
+            representatives = np.empty(
+                (0, len(parent_pos)), dtype=np.int64
+            )
+            reduced = empty_values
+        elif len(rep_parts) == 1:
+            representatives, reduced = rep_parts[0], value_parts[0]
+        else:
+            # The cross-shard merge: ⊕-combine equal separator keys of
+            # the concatenated per-shard messages.
+            all_reps = np.concatenate(rep_parts, axis=0)
+            all_values = np.concatenate(value_parts)
+            representatives, group_ids, group_count = group_rows(
+                all_reps, cardinality
+            )
+            reduced = group_reduce(
+                all_values, group_ids, group_count, plus_ufunc
+            )
         messages[node] = (representatives, reduced)
         node_value[node] = (
             semiring.as_scalar(plus_ufunc.reduce(reduced))

@@ -205,6 +205,42 @@ def test_sum_order_single_atom():
     assert keys == sorted(keys)
 
 
+def test_sum_order_columnar_covering_parity():
+    query = parse_query("q(x, y) :- R(x, y), S(x)")
+    db = random_database(query, 60, 12, seed=102)
+    weights = {i: (5 * i) % 11 - 5.0 for i in range(12)}
+    scalar = SumOrderDirectAccess(query, db, weights)
+    columnar = SumOrderDirectAccess(
+        query, db.to_backend("columnar"), weights
+    )
+    assert columnar.store_backend == "columnar"
+    assert len(scalar) == len(columnar)
+    assert [columnar.access(i) for i in range(len(columnar))] == [
+        scalar.access(i) for i in range(len(scalar))
+    ]
+    probe = scalar.answer_weight(scalar.access(0)) if len(scalar) else 0.0
+    for target in (probe, probe + 0.5, -100.0):
+        assert scalar.has_weight(target, 1e-9) == columnar.has_weight(
+            target, 1e-9
+        )
+
+
+def test_sum_order_columnar_mixed_type_columns():
+    # Regression: ranks are per column, so mutually incomparable types
+    # in *different* columns must not break the columnar path (the
+    # scalar tie-break only ever compares values position-wise).
+    query = parse_query("q(a, b) :- R(a, b)")
+    db = Database.from_dict(
+        {"R": [(1, "x"), (2, "y"), (1, "y")]}, backend="columnar"
+    )
+    weights = {1: 5.0, "x": 1.0}
+    columnar = SumOrderDirectAccess(query, db, weights)
+    scalar = SumOrderDirectAccess(query, db.to_backend("python"), weights)
+    assert [columnar.access(i) for i in range(len(columnar))] == [
+        scalar.access(i) for i in range(len(scalar))
+    ]
+
+
 def test_sum_order_covering_atom_with_filter():
     query = parse_query("q(x, y) :- R(x, y), S(x)")
     db = Database.from_dict(

@@ -27,7 +27,13 @@ def run_example(name: str) -> None:
 
 @pytest.mark.parametrize(
     "name",
-    ["quickstart", "dichotomy_atlas", "ranked_paging", "weighted_aggregation"],
+    [
+        "quickstart",
+        "dichotomy_atlas",
+        "ranked_paging",
+        "weighted_aggregation",
+        "sharded_ingestion",
+    ],
 )
 def test_example_runs(name, capsys):
     run_example(name)
