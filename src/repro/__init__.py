@@ -39,13 +39,25 @@ pick a storage backend               ``Database(backend=...)`` —
                                      aggregation at out-of-core scale);
                                      the engine planner picks one
                                      automatically by input size
+survive crashes / restart warm /     ``connect(path=...)`` — a durable
+replicate to read followers          session (CRC-checked WAL +
+                                     atomic checkpoints,
+                                     :mod:`repro.db.wal`);
+                                     :meth:`Session.checkpoint`
+                                     persists data *and* prepared
+                                     plans; :mod:`repro.engine.
+                                     replication` ships
+                                     ``delta_since`` batches to
+                                     :class:`FollowerSession` replicas
 ===================================  =======================================
 
 Subpackages:
 
 - :mod:`repro.engine` — Session / PreparedQuery / AnswerSet facade with
   classifier-driven planning (the primary public API);
-- :mod:`repro.db` — relations and databases (python + columnar backends);
+- :mod:`repro.db` — relations and databases (python / columnar /
+  sharded backends; durable WAL + checkpoint storage via
+  :func:`repro.db.attach`);
 - :mod:`repro.query` — conjunctive query syntax, parser, catalog;
 - :mod:`repro.hypergraph` — acyclicity, join trees, free-connexness,
   disruptive trios, Brault-Baron witnesses, star size, AGM exponents;
@@ -73,7 +85,13 @@ Quickstart (the engine; ``examples/quickstart.py`` for the full tour)::
 
 from repro.classify import QueryClassification, TaskVerdict, classify
 from repro.counting import count_answers
-from repro.db import Database, Relation
+from repro.db import (
+    Database,
+    DurableDatabase,
+    Relation,
+    TruncatedHistoryError,
+    attach,
+)
 from repro.dynamic import HierarchicalCountMaintainer
 from repro.direct_access import (
     LexDirectAccess,
@@ -82,8 +100,11 @@ from repro.direct_access import (
 )
 from repro.engine import (
     AnswerSet,
+    FollowerSession,
+    LeaderFeed,
     Plan,
     PreparedQuery,
+    ReplicationError,
     Session,
     connect,
 )
@@ -105,17 +126,23 @@ __all__ = [
     "ConjunctiveQuery",
     "ConstantDelayEnumerator",
     "Database",
+    "DurableDatabase",
+    "FollowerSession",
     "HierarchicalCountMaintainer",
     "Hypergraph",
+    "LeaderFeed",
     "LexDirectAccess",
     "Plan",
     "PreparedQuery",
     "QueryClassification",
     "Relation",
+    "ReplicationError",
     "Session",
     "SumOrderDirectAccess",
     "TaskVerdict",
     "TestingOracle",
+    "TruncatedHistoryError",
+    "attach",
     "catalog",
     "classify",
     "connect",

@@ -15,13 +15,19 @@ see :mod:`repro.db.columnar`), and the partitioned ``"sharded"``
 backend (:class:`ShardedColumnarRelation`, hash-partitioned code
 matrices over one shared dictionary — see :mod:`repro.db.sharded`),
 selected via ``Database(backend=...)``.
+
+Durability lives one layer up: :func:`attach` opens (or recovers) a
+:class:`DurableDatabase` whose mutations are mirrored into a framed,
+CRC-checked write-ahead log (:mod:`repro.db.wal`) and periodically
+rolled into atomic snapshots (:mod:`repro.db.checkpoint`).
 """
 
 from repro.db.columnar import ColumnarRelation, Dictionary
-from repro.db.database import Database
+from repro.db.database import Database, DurableDatabase, attach
 from repro.db.interface import (
     FrameAlgebra,
     StaleStructureError,
+    TruncatedHistoryError,
     TupleStore,
     preferred_backend,
     preferred_shard_count,
@@ -35,11 +41,14 @@ __all__ = [
     "ColumnarRelation",
     "Database",
     "Dictionary",
+    "DurableDatabase",
     "FrameAlgebra",
     "Relation",
     "ShardedColumnarRelation",
     "StaleStructureError",
+    "TruncatedHistoryError",
     "TupleStore",
+    "attach",
     "preferred_backend",
     "preferred_shard_count",
     "snapshot_stamps",

@@ -1,0 +1,296 @@
+"""Atomic per-relation snapshots: the checkpoint half of durability.
+
+A checkpoint is a directory ``ckpt-<n>/`` holding
+
+- ``meta.json`` — one entry per relation (arity, backend kind, stamp,
+  shard layout), plus the dictionary length;
+- ``dictionary.pkl`` — the shared value dictionary, in code order
+  (columnar/sharded databases only);
+- per-relation payloads, named by relation *index* (names may not be
+  filename-safe): ``<i>.c<j>.npy`` — one ``np.save`` file per column
+  of a columnar relation; ``<i>.s<s>.c<j>.npy`` — per shard, per
+  column, for sharded relations; ``<i>.rows.pkl`` — the tuple set of
+  a python-backend relation.
+
+Atomicity is two-stage.  First the snapshot is written file-by-file
+into ``ckpt-<n>.tmp`` (each file fsynced) and renamed to ``ckpt-<n>``
+in one ``os.replace``.  Second — and this is the *only* commit point —
+``MANIFEST.json`` is atomically replaced to reference the new
+checkpoint and its fresh WAL file.  A crash anywhere before the
+manifest swap leaves the old manifest pointing at the old checkpoint
+plus the old (still-growing, still-valid) WAL: recovery never sees a
+half-written snapshot.  Stale ``ckpt-*``/``wal-*`` files left by such
+a crash are garbage-collected by the next successful checkpoint.
+
+Snapshots store the *merged* view (pending delta segments included)
+and the exact ``mutation_stamp`` per relation (per shard for sharded
+relations), so a recovered relation answers ``delta_since`` from the
+checkpoint stamp onward — identical semantics to one that compacted
+at snapshot time.
+
+Every write/rename site carries a :mod:`repro.util.faultpoints` hook.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.db.columnar import ColumnarRelation, Dictionary
+from repro.db.relation import Relation
+from repro.db.sharded import ShardedColumnarRelation
+from repro.util.faultpoints import declare, fault_point
+
+__all__ = [
+    "CRASH_POINTS",
+    "MANIFEST",
+    "commit_manifest",
+    "load_dictionary",
+    "load_snapshot",
+    "read_manifest",
+    "wal_filename",
+    "write_snapshot",
+]
+
+MANIFEST = "MANIFEST.json"
+
+CRASH_POINTS = declare(
+    "ckpt.begin",
+    "ckpt.column.write",
+    "ckpt.dictionary.write",
+    "ckpt.meta.write",
+    "ckpt.dir.rename",
+    "ckpt.wal.create",
+    "ckpt.manifest.write",
+    "ckpt.manifest.rename",
+    module=__name__,
+)
+
+
+def wal_filename(index: int) -> str:
+    """The WAL file paired with checkpoint ``index``."""
+    return f"wal-{index}.log"
+
+
+def snapshot_dirname(index: int) -> str:
+    return f"ckpt-{index}"
+
+
+def _fsync_dir(path: str) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_bytes(path: str, data: bytes, point: str) -> None:
+    fault_point(point)
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _write_column(path: str, column: np.ndarray) -> None:
+    fault_point("ckpt.column.write")
+    with open(path, "wb") as handle:
+        np.save(handle, np.ascontiguousarray(column))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+# ----------------------------------------------------------------------
+# snapshot write
+# ----------------------------------------------------------------------
+def write_snapshot(root: str, db, index: int) -> str:
+    """Write ``ckpt-<index>/`` under ``root``; return its final path.
+
+    Builds the whole directory under ``ckpt-<index>.tmp`` and renames
+    once — readers either see a complete snapshot or none.  The
+    manifest is *not* touched here; see :func:`commit_manifest`.
+    """
+    tmp = os.path.join(root, snapshot_dirname(index) + ".tmp")
+    final = os.path.join(root, snapshot_dirname(index))
+    for stale in (tmp, final):
+        if os.path.exists(stale):
+            shutil.rmtree(stale)
+    os.makedirs(tmp)
+    fault_point("ckpt.begin")
+    relations: List[Dict[str, Any]] = []
+    for idx, rel in enumerate(db):
+        entry: Dict[str, Any] = {"name": rel.name, "arity": rel.arity}
+        if isinstance(rel, ShardedColumnarRelation):
+            entry["kind"] = "sharded"
+            entry["shard_count"] = rel.shard_count
+            entry["key_column"] = rel.key_column
+            shard_stamps: List[int] = []
+            shard_counts: List[int] = []
+            for s, (codes, stamp) in enumerate(rel.snapshot_state()):
+                shard_stamps.append(stamp)
+                shard_counts.append(len(codes))
+                for j in range(rel.arity):
+                    _write_column(
+                        os.path.join(tmp, f"{idx}.s{s}.c{j}.npy"),
+                        codes[:, j],
+                    )
+            entry["shard_stamps"] = shard_stamps
+            entry["shard_counts"] = shard_counts
+        elif isinstance(rel, ColumnarRelation):
+            codes, stamp = rel.snapshot_state()
+            entry["kind"] = "columnar"
+            entry["stamp"] = stamp
+            entry["count"] = len(codes)
+            for j in range(rel.arity):
+                _write_column(
+                    os.path.join(tmp, f"{idx}.c{j}.npy"), codes[:, j]
+                )
+        else:
+            rows, stamp = rel.snapshot_state()
+            entry["kind"] = "python"
+            entry["stamp"] = stamp
+            _write_bytes(
+                os.path.join(tmp, f"{idx}.rows.pkl"),
+                pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL),
+                "ckpt.column.write",
+            )
+        relations.append(entry)
+    dictionary = getattr(db, "_dictionary", None)
+    meta: Dict[str, Any] = {
+        "index": index,
+        "relations": relations,
+        "dictionary_len": len(dictionary) if dictionary is not None else 0,
+    }
+    if dictionary is not None:
+        _write_bytes(
+            os.path.join(tmp, "dictionary.pkl"),
+            pickle.dumps(
+                dictionary.values(), protocol=pickle.HIGHEST_PROTOCOL
+            ),
+            "ckpt.dictionary.write",
+        )
+    _write_bytes(
+        os.path.join(tmp, "meta.json"),
+        json.dumps(meta, indent=1).encode("utf-8"),
+        "ckpt.meta.write",
+    )
+    fault_point("ckpt.dir.rename")
+    os.replace(tmp, final)
+    _fsync_dir(root)
+    return final
+
+
+# ----------------------------------------------------------------------
+# snapshot read
+# ----------------------------------------------------------------------
+def read_meta(root: str, index: int) -> Dict[str, Any]:
+    path = os.path.join(root, snapshot_dirname(index), "meta.json")
+    with open(path, "rb") as handle:
+        return json.loads(handle.read().decode("utf-8"))
+
+
+def load_dictionary(root: str, index: int) -> List[Any]:
+    """The snapshotted dictionary values, in code order (may be [])."""
+    path = os.path.join(root, snapshot_dirname(index), "dictionary.pkl")
+    if not os.path.exists(path):
+        return []
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def _load_codes(
+    ckpt: str, pattern: str, arity: int, count: int
+) -> np.ndarray:
+    if arity == 0:
+        return np.empty((count, 0), dtype=np.int64)
+    columns = [
+        np.load(os.path.join(ckpt, pattern.format(j=j)))
+        for j in range(arity)
+    ]
+    if not count and not len(columns[0]):
+        return np.empty((0, arity), dtype=np.int64)
+    return np.stack(columns, axis=1).astype(np.int64, copy=False)
+
+
+def load_snapshot(
+    root: str, index: int, dictionary: Optional[Dictionary]
+) -> Tuple[List[Any], Dict[str, Any]]:
+    """Rebuild the snapshotted relations; return them plus the meta.
+
+    Columnar and sharded relations are constructed against the given
+    (already re-seeded) shared ``dictionary``; stamps are restored so
+    ``delta_since(checkpoint stamp)`` is answerable immediately.
+    """
+    meta = read_meta(root, index)
+    ckpt = os.path.join(root, snapshot_dirname(index))
+    relations: List[Any] = []
+    for idx, entry in enumerate(meta["relations"]):
+        name, arity, kind = entry["name"], entry["arity"], entry["kind"]
+        if kind == "sharded":
+            rel = ShardedColumnarRelation(
+                name,
+                arity,
+                dictionary=dictionary,
+                shard_count=entry["shard_count"],
+                key_column=entry["key_column"],
+            )
+            states = [
+                (
+                    _load_codes(
+                        ckpt, f"{idx}.s{s}.c{{j}}.npy", arity, count
+                    ),
+                    stamp,
+                )
+                for s, (stamp, count) in enumerate(
+                    zip(entry["shard_stamps"], entry["shard_counts"])
+                )
+            ]
+            rel.restore_state(states)
+        elif kind == "columnar":
+            rel = ColumnarRelation(name, arity, dictionary=dictionary)
+            rel.restore_state(
+                _load_codes(ckpt, f"{idx}.c{{j}}.npy", arity, entry["count"]),
+                entry["stamp"],
+            )
+        else:
+            rel = Relation(name, arity)
+            with open(
+                os.path.join(ckpt, f"{idx}.rows.pkl"), "rb"
+            ) as handle:
+                rows = pickle.load(handle)
+            rel.restore_state(rows, entry["stamp"])
+        relations.append(rel)
+    return relations, meta
+
+
+# ----------------------------------------------------------------------
+# manifest
+# ----------------------------------------------------------------------
+def read_manifest(root: str) -> Optional[Dict[str, Any]]:
+    """The committed manifest, or ``None`` for a fresh directory."""
+    path = os.path.join(root, MANIFEST)
+    if not os.path.exists(path):
+        return None
+    with open(path, "rb") as handle:
+        return json.loads(handle.read().decode("utf-8"))
+
+
+def commit_manifest(root: str, manifest: Dict[str, Any]) -> None:
+    """Atomically replace ``MANIFEST.json`` — the durability commit point."""
+    tmp = os.path.join(root, MANIFEST + ".tmp")
+    _write_bytes(
+        tmp,
+        json.dumps(manifest, indent=1).encode("utf-8"),
+        "ckpt.manifest.write",
+    )
+    fault_point("ckpt.manifest.rename")
+    os.replace(tmp, os.path.join(root, MANIFEST))
+    _fsync_dir(root)

@@ -64,6 +64,8 @@ from typing import (
 
 import numpy as np
 
+from repro.db.interface import TruncatedHistoryError
+
 Value = object
 Row = Tuple[Value, ...]
 
@@ -451,6 +453,11 @@ class ColumnarRelation:
         self._tuple_cache: Optional[List[Row]] = None
         self._set_cache: Optional[FrozenSet[Row]] = None
         self._indexes: Dict[Tuple[int, ...], Dict[Row, List[Row]]] = {}
+        # Durability hook (repro.db.wal.WalJournal, or the sharded
+        # substrate's forwarding wrapper).  None costs one attribute
+        # check per mutation; non-None mirrors every op and barrier
+        # into the write-ahead log.
+        self._journal = None
         if rows is not None:
             self.add_all(rows)
 
@@ -513,19 +520,30 @@ class ColumnarRelation:
         self._log.append((coded, is_insert, self._stamp))
         self._net[coded] = is_insert
         self._invalidate()
+        if self._journal is not None:
+            self._journal.record_op(self.name, coded, is_insert)
         if len(self._net) > self._compact_limit():
-            self.compact()
+            # Auto-compaction is a pure function of the op stream, so
+            # WAL replay re-triggers it at exactly this point — it is
+            # deliberately *not* journaled (only explicit compact()
+            # calls are, since they are invisible to the op stream).
+            self._adopt(self._merge())
 
     def compact(self) -> None:
         """Fold the delta segments into the main segment.
 
-        A no-op when there are no pending ops.  Content is unchanged
-        (``mutation_stamp`` does not move), but history is truncated:
-        ``delta_since`` answers ``None`` for stamps recorded before
-        this point.
+        A no-op when there are no pending ops: the barrier stamp does
+        not move and history survives.  An effective compaction leaves
+        content unchanged (``mutation_stamp`` does not move) but
+        truncates history: ``delta_since`` raises
+        :class:`~repro.db.interface.TruncatedHistoryError` for stamps
+        recorded before this point, and the barrier is mirrored into
+        the write-ahead log as an explicit record.
         """
         if self._net:
             self._adopt(self._merge())
+            if self._journal is not None:
+                self._journal.record_compact(self.name)
 
     @property
     def mutation_stamp(self) -> int:
@@ -537,21 +555,22 @@ class ColumnarRelation:
         """Distinct tuples touched by the pending delta segments."""
         return len(self._net)
 
-    def delta_since(
-        self, stamp: int
-    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    def delta_since(self, stamp: int) -> Tuple[np.ndarray, np.ndarray]:
         """Net ``(inserted, deleted)`` code rows since ``stamp``.
 
         Exact: logically-absorbed ops (re-adding a present tuple, an
-        add/discard pair) cancel out.  Returns ``None`` when ``stamp``
-        predates the last barrier (compaction or bulk rewrite) — the
-        history needed no longer exists and callers must rebuild.
+        add/discard pair) cancel out.  Raises
+        :class:`~repro.db.interface.TruncatedHistoryError` when
+        ``stamp`` predates the last barrier (compaction or bulk
+        rewrite) or lies beyond the current stamp (the caller's
+        snapshot belongs to a pre-recovery incarnation) — the history
+        needed no longer exists and callers must rebuild.
         """
         empty = np.empty((0, self.arity), dtype=np.int64)
         if stamp == self._stamp:
             return empty, empty
         if stamp < self._base_stamp or stamp > self._stamp:
-            return None
+            raise TruncatedHistoryError(self.name, stamp, self._base_stamp)
         before: Dict[Tuple[int, ...], bool] = {}
         touched: Dict[Tuple[int, ...], None] = {}
         for coded, is_insert, op_stamp in self._log:
@@ -635,10 +654,7 @@ class ColumnarRelation:
             for coded in map(tuple, fresh.tolist()):
                 self._log_op(coded, True)
             return
-        merged = np.concatenate([self.codes(), fresh], axis=0)
-        self._stamp += 1
-        self._invalidate()
-        self._adopt(unique_rows(merged, len(self.dictionary)))
+        self.add_coded_batch(fresh)
 
     def discard(self, row: Sequence[Value]) -> None:
         """Remove a tuple if present (delta-segment append, O(1))."""
@@ -682,6 +698,48 @@ class ColumnarRelation:
         self._stamp += 1
         self._invalidate()
         self._adopt(unique_rows(merged, len(self.dictionary)))
+        if self._journal is not None:
+            self._journal.record_batch(self.name, codes)
+
+    def remove_coded_batch(self, codes: np.ndarray) -> int:
+        """Bulk-delete already-encoded rows; return the removed count.
+
+        The deletion counterpart of :meth:`add_coded_batch`: one key
+        pass over the merged view, no per-row Python.  A matching
+        removal is a bulk rewrite and therefore a history barrier
+        (mirrored into the write-ahead log); an empty or fully-absent
+        batch touches nothing — no stamp advance, no barrier.  Used by
+        WAL replay (``retain`` barriers are logged as the removed code
+        rows, since predicates cannot be replayed) and by replication
+        followers applying shipped deletions.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 2:
+            codes = codes.reshape(len(codes), self.arity)
+        if not len(codes):
+            return 0
+        merged = self.codes()
+        if not len(merged):
+            return 0
+        if self.arity == 0:
+            # One deduplicated row at most; removing () empties it.
+            removed = len(merged)
+            keep = np.zeros(len(merged), dtype=bool)
+        else:
+            merged_keys, drop_keys = common_keys(
+                merged, codes, len(self.dictionary)
+            )
+            keep = ~np.isin(merged_keys, drop_keys)
+            removed = int(len(merged) - keep.sum())
+        if not removed:
+            return 0
+        retained = merged[keep]
+        self._stamp += 1
+        self._invalidate()
+        self._adopt(retained)
+        if self._journal is not None:
+            self._journal.record_remove(self.name, codes)
+        return removed
 
     def retain(self, predicate) -> int:
         """Keep only tuples satisfying ``predicate``; return removed count.
@@ -707,10 +765,10 @@ class ColumnarRelation:
         )
         removed = int(len(tuples) - keep.sum())
         if removed:
-            retained = self.codes()[keep]
-            self._stamp += 1
-            self._invalidate()
-            self._adopt(retained)
+            # Route through remove_coded_batch so the barrier reaches
+            # the write-ahead log as the removed code rows (an
+            # arbitrary Python predicate cannot be replayed).
+            self.remove_coded_batch(self.codes()[~keep])
         return removed
 
     # ------------------------------------------------------------------
@@ -845,3 +903,34 @@ class ColumnarRelation:
         )
         out._main = self.codes().copy()
         return out
+
+    # ------------------------------------------------------------------
+    # durability (snapshot / restore)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Tuple[np.ndarray, int]:
+        """The merged code matrix and current stamp, for checkpointing.
+
+        The snapshot is the *merged* view — pending delta segments are
+        included, not folded (no barrier, no stamp movement), so taking
+        a checkpoint never perturbs live ``delta_since`` history.
+        """
+        return self.codes(), self._stamp
+
+    def restore_state(self, codes: np.ndarray, stamp: int) -> None:
+        """Install a snapshot: ``codes`` becomes the main segment.
+
+        History restarts at ``stamp`` (``_base_stamp == stamp``), so
+        ``delta_since(stamp)`` is immediately answerable and earlier
+        stamps raise — identical semantics to a relation that compacted
+        at the moment the snapshot was taken.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 2 or codes.shape[1] != self.arity:
+            codes = codes.reshape(len(codes), self.arity)
+        self._log.clear()
+        self._net.clear()
+        self._stamp = self._base_stamp = int(stamp)
+        self._invalidate()
+        self._main = codes
+        self._main_set = None
+        self._merged = codes

@@ -47,15 +47,17 @@ backend keeps delta history, cheaply repairable.
     they raise :class:`StaleStructureError` or refresh, never silently
     answer from the dead snapshot.
 
-``delta_since(stamp) -> ((inserted, deleted)) | None``
+``delta_since(stamp) -> (inserted, deleted)``
     The *net* change of the tuple set between the snapshot taken at
     ``stamp`` and now, as two code matrices (columnar backend; rows
-    are dictionary codes), or ``None`` when the history needed to
-    answer exactly is gone (the stamp predates the last compaction or
-    bulk rewrite — callers must then rebuild).  Exactness matters: an
-    ``add`` of a present tuple or an ``add``/``discard`` pair cancels
-    to nothing, so replaying the delta against a structure built at
-    ``stamp`` reproduces the current content.
+    are dictionary codes).  When the history needed to answer exactly
+    is gone — the stamp predates the last barrier (compaction, bulk
+    rewrite, removing ``retain``) — it raises
+    :class:`TruncatedHistoryError` carrying both stamps, and callers
+    rebuild.  Exactness matters: an ``add`` of a present tuple or an
+    ``add``/``discard`` pair cancels to nothing, so replaying the
+    delta against a structure built at ``stamp`` reproduces the
+    current content.
 
 **Columnar storage layout.**  A
 :class:`~repro.db.columnar.ColumnarRelation` holds a compacted *main
@@ -65,14 +67,16 @@ merge on the fly (``codes()`` filters deleted main rows and appends
 net inserts, cached until the next mutation).  When the delta grows
 past ``max(DELTA_COMPACT_MIN, DELTA_COMPACT_FRACTION * len(main))``
 the merged view is adopted as the new main segment and the log is
-cleared — which truncates history, so ``delta_since`` answers ``None``
-for stamps before the compaction and derived structures fall back to a
-full rebuild (exactly the regime where the delta was no longer small).
-``retain`` and large ``add_all`` calls are bulk rewrites: they compact
-first and also act as history barriers.  The Python backend mutates in
-place and keeps no history (``delta_since`` is always ``None``), but
-maintains its hash indexes incrementally and bumps ``mutation_stamp``
-only on effective changes.
+cleared — which truncates history, so ``delta_since`` raises
+:class:`TruncatedHistoryError` for stamps before the compaction and
+derived structures fall back to a full rebuild (exactly the regime
+where the delta was no longer small).  ``retain`` calls that remove
+something and large ``add_all`` calls are bulk rewrites: they compact
+first and also act as history barriers (no-op retains and empty-log
+compactions leave both the stamp and the history untouched).  The
+Python backend mutates in place and keeps no history (``delta_since``
+always raises past stamps), but maintains its hash indexes
+incrementally and bumps ``mutation_stamp`` only on effective changes.
 """
 
 from __future__ import annotations
@@ -177,6 +181,32 @@ class StaleStructureError(RuntimeError):
     """
 
 
+class TruncatedHistoryError(StaleStructureError):
+    """``delta_since`` was asked about a stamp whose history is gone.
+
+    The requested stamp predates the relation's last history barrier
+    (compaction, bulk ``add_all`` rewrite, or a removing ``retain``),
+    so the exact net delta can no longer be reconstructed from the op
+    log.  Carries both stamps so recovery code and replication
+    followers can dispatch on the *distance* (resync vs full re-seed)
+    instead of string-matching the message.  Being a
+    :class:`StaleStructureError` subclass, existing rebuild-on-stale
+    handlers catch it unchanged.
+    """
+
+    def __init__(
+        self, relation: str, requested_stamp: int, barrier_stamp: int
+    ) -> None:
+        super().__init__(
+            f"relation {relation!r}: delta history for stamp "
+            f"{requested_stamp} was truncated by a barrier at stamp "
+            f"{barrier_stamp}; rebuild or re-seed from a snapshot"
+        )
+        self.relation = relation
+        self.requested_stamp = requested_stamp
+        self.barrier_stamp = barrier_stamp
+
+
 def snapshot_stamps(db, names: Iterable[str]) -> Dict[str, int]:
     """The current ``mutation_stamp`` of each named relation in ``db``."""
     return {name: db[name].mutation_stamp for name in names}
@@ -202,8 +232,9 @@ class TupleStore(ABC):
     Mutation:   ``add(row)``, ``add_all(rows)``, ``discard(row)``,
                 ``retain(predicate) -> int``.
     Consistency:``mutation_stamp`` (monotone int property),
-                ``delta_since(stamp)`` (net change or None — see the
-                module docstring's mutation/consistency contract).
+                ``delta_since(stamp)`` (net change, or
+                :class:`TruncatedHistoryError` past a barrier — see
+                the module docstring's mutation/consistency contract).
     Access:     ``__len__``, ``__iter__`` (value tuples),
                 ``__contains__``, ``rows() -> frozenset``,
                 ``is_empty()``, ``active_domain()``.

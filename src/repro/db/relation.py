@@ -24,6 +24,8 @@ from typing import (
     Tuple,
 )
 
+from repro.db.interface import TruncatedHistoryError
+
 Value = object
 Row = Tuple[Value, ...]
 
@@ -44,6 +46,9 @@ class Relation:
         self._rows: set = set()
         self._stamp = 0
         self._indexes: Dict[Tuple[int, ...], Dict[Row, List[Row]]] = {}
+        # Durability hook (repro.db.wal.WalJournal); the python backend
+        # journals value tuples directly (there is no dictionary).
+        self._journal = None
         if rows is not None:
             self.add_all(rows)
 
@@ -61,10 +66,13 @@ class Relation:
 
     def delta_since(self, stamp: int):
         """Net change since ``stamp`` — the Python backend keeps no
-        history, so only the trivial "no change" case is answerable."""
+        history, so only the trivial "no change" case is answerable;
+        any drifted stamp raises
+        :class:`~repro.db.interface.TruncatedHistoryError` (every
+        mutation is a barrier here) and callers rebuild."""
         if stamp == self._stamp:
             return (), ()
-        return None
+        raise TruncatedHistoryError(self.name, stamp, self._stamp)
 
     # ------------------------------------------------------------------
     # mutation
@@ -114,6 +122,8 @@ class Relation:
             self._rows.add(tup)
             self._stamp += 1
             self._index_insert(tup)
+            if self._journal is not None:
+                self._journal.record_op(self.name, tup, True)
 
     def add_all(self, rows: Iterable[Sequence[Value]]) -> None:
         """Insert many tuples at once (indexes maintained incrementally)."""
@@ -128,6 +138,8 @@ class Relation:
                 self._rows.add(tup)
                 self._stamp += 1
                 self._index_insert(tup)
+                if self._journal is not None:
+                    self._journal.record_op(self.name, tup, True)
 
     def discard(self, row: Sequence[Value]) -> None:
         """Remove a tuple if present (indexes maintained incrementally)."""
@@ -136,6 +148,8 @@ class Relation:
             self._rows.discard(tup)
             self._stamp += 1
             self._index_remove(tup)
+            if self._journal is not None:
+                self._journal.record_op(self.name, tup, False)
 
     def retain(self, predicate) -> int:
         """Keep only tuples satisfying ``predicate``; return removed count.
@@ -147,10 +161,32 @@ class Relation:
         keep = {t for t in self._rows if predicate(t)}
         removed = len(self._rows) - len(keep)
         if removed:
+            dropped = self._rows - keep
             self._rows = keep
             self._stamp += 1
             self._indexes.clear()
+            if self._journal is not None:
+                self._journal.record_remove(self.name, list(dropped))
         return removed
+
+    def remove_batch(self, rows: Iterable[Sequence[Value]]) -> int:
+        """Remove many tuples in one stamp bump; return the removed count.
+
+        The replay/replication counterpart of a removing ``retain``:
+        the write-ahead log records the removed tuples (a predicate
+        cannot be replayed), and recovery applies them here with the
+        same single stamp advance the original ``retain`` performed.
+        A batch that removes nothing touches nothing.
+        """
+        present = [t for t in map(tuple, rows) if t in self._rows]
+        if not present:
+            return 0
+        self._rows.difference_update(present)
+        self._stamp += 1
+        self._indexes.clear()
+        if self._journal is not None:
+            self._journal.record_remove(self.name, present)
+        return len(present)
 
     # ------------------------------------------------------------------
     # access
@@ -238,3 +274,16 @@ class Relation:
     def copy(self, name: Optional[str] = None) -> "Relation":
         """An independent copy (indexes are not shared)."""
         return Relation(name or self.name, self.arity, self._rows)
+
+    # ------------------------------------------------------------------
+    # durability (snapshot / restore)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Tuple[List[Row], int]:
+        """The tuple set (as a list) and current stamp, for checkpointing."""
+        return list(self._rows), self._stamp
+
+    def restore_state(self, rows: Iterable[Sequence[Value]], stamp: int) -> None:
+        """Install a snapshot: ``rows`` becomes the tuple set at ``stamp``."""
+        self._rows = set(map(tuple, rows))
+        self._stamp = int(stamp)
+        self._indexes.clear()

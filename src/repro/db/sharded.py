@@ -32,7 +32,16 @@ owning shard's delta segments in O(1).
 globally by translating a global stamp back to the per-shard stamps it
 corresponds to (a small routing history) and concatenating the shard
 deltas.  When any shard compacted past the requested stamp the global
-``delta_since`` answers ``None`` — exactly the columnar contract.
+``delta_since`` raises :class:`~repro.db.interface.
+TruncatedHistoryError` under the *parent's* name and global stamps —
+exactly the columnar contract.
+
+**Durability.**  Each shard carries a :class:`_ShardJournal`
+forwarding hook: shard-level ops and barriers are mirrored into the
+parent's write-ahead log under the parent's name.  Replay is purely
+parent-level — routing is deterministic (bit-identical scalar and
+vectorized hashes), so re-applying the parent-named records rebuilds
+identical shards without persisting any shard ids.
 
 **Materialization accounting.**  The promise of the sharded pipelines
 is that the count/aggregate path never materializes a global array
@@ -56,6 +65,7 @@ from repro.db.columnar import (
     Dictionary,
     Value,
 )
+from repro.db.interface import TruncatedHistoryError
 
 # Default number of shards for relations created without an explicit
 # count (Database(backend="sharded")).  The engine planner sizes real
@@ -135,6 +145,42 @@ def shard_ids(key_codes: np.ndarray, shard_count: int) -> np.ndarray:
     )
 
 
+class _ShardJournal:
+    """Forwards a shard's journal records under the *parent's* name.
+
+    Shards are internal ("R#3" never appears in the WAL): routing is
+    deterministic, so replaying parent-named records through the
+    parent's routed mutation methods reconstructs identical shards.
+    The parent's journal is looked up per record, so attaching or
+    detaching durability on the parent takes effect immediately.
+    """
+
+    __slots__ = ("_parent",)
+
+    def __init__(self, parent: "ShardedColumnarRelation") -> None:
+        self._parent = parent
+
+    def record_op(self, _name: str, coded, is_insert: bool) -> None:
+        journal = self._parent._journal
+        if journal is not None:
+            journal.record_op(self._parent.name, coded, is_insert)
+
+    def record_batch(self, _name: str, codes) -> None:
+        journal = self._parent._journal
+        if journal is not None:
+            journal.record_batch(self._parent.name, codes)
+
+    def record_remove(self, _name: str, codes) -> None:
+        journal = self._parent._journal
+        if journal is not None:
+            journal.record_remove(self._parent.name, codes)
+
+    def record_compact(self, _name: str) -> None:
+        journal = self._parent._journal
+        if journal is not None:
+            journal.record_compact(self._parent.name)
+
+
 class ShardedColumnarRelation(ColumnarRelation):
     """A columnar relation hash-partitioned into independent shards.
 
@@ -197,6 +243,21 @@ class ShardedColumnarRelation(ColumnarRelation):
     # ------------------------------------------------------------------
     # internal state
     # ------------------------------------------------------------------
+    @property
+    def _journal(self):
+        return self.__dict__.get("_journal_value")
+
+    @_journal.setter
+    def _journal(self, journal) -> None:
+        # Attaching durability on the parent wires every shard's hook
+        # through a _ShardJournal (records surface under the parent's
+        # name); detaching unhooks the shards so the no-durability
+        # mutation path stays a single None check.
+        self.__dict__["_journal_value"] = journal
+        wrapper = _ShardJournal(self) if journal is not None else None
+        for shard in getattr(self, "_shards", ()):
+            shard._journal = wrapper
+
     def _invalidate(self) -> None:
         super()._invalidate()
         self._coalesced = None
@@ -248,8 +309,10 @@ class ShardedColumnarRelation(ColumnarRelation):
 
     def shard_delta_since(
         self, shard_index: int, stamp: int
-    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-        """One shard's net delta since a *shard-local* stamp."""
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One shard's net delta since a *shard-local* stamp (raises
+        :class:`~repro.db.interface.TruncatedHistoryError` under the
+        shard's own name when its history is gone)."""
         return self._shards[shard_index].delta_since(stamp)
 
     # ------------------------------------------------------------------
@@ -264,24 +327,25 @@ class ShardedColumnarRelation(ColumnarRelation):
     def delta_size(self) -> int:
         return sum(shard.delta_size for shard in self._shards)
 
-    def delta_since(
-        self, stamp: int
-    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    def delta_since(self, stamp: int) -> Tuple[np.ndarray, np.ndarray]:
         """Net ``(inserted, deleted)`` code rows since a global stamp.
 
         Translates the global stamp to the per-shard stamps it
         corresponds to (via the routing history) and concatenates the
-        shards' exact net deltas.  ``None`` when the routing history
-        was rebased past ``stamp`` or any shard compacted its own
-        history away — callers rebuild, exactly as for the unsharded
-        contract.
+        shards' exact net deltas.  Raises
+        :class:`~repro.db.interface.TruncatedHistoryError` — under the
+        parent's name and global stamps — when the routing history was
+        rebased past ``stamp`` or any shard compacted its own history
+        away; callers rebuild, exactly as for the unsharded contract.
         """
         empty = np.empty((0, self.arity), dtype=np.int64)
         current = self.mutation_stamp
         if stamp == current:
             return empty, empty
         if stamp < self._global_base_stamp or stamp > current:
-            return None
+            raise TruncatedHistoryError(
+                self.name, stamp, self._global_base_stamp
+            )
         targets = list(self._base_shard_stamps)
         for global_stamp, shard_index, shard_stamp in self._history:
             if global_stamp > stamp:
@@ -290,10 +354,12 @@ class ShardedColumnarRelation(ColumnarRelation):
         inserted_parts: List[np.ndarray] = []
         deleted_parts: List[np.ndarray] = []
         for shard, target in zip(self._shards, targets):
-            delta = shard.delta_since(target)
-            if delta is None:
-                return None
-            inserted, deleted = delta
+            try:
+                inserted, deleted = shard.delta_since(target)
+            except TruncatedHistoryError as exc:
+                raise TruncatedHistoryError(
+                    self.name, stamp, self._global_base_stamp
+                ) from exc
             if len(inserted):
                 inserted_parts.append(inserted)
             if len(deleted):
@@ -358,6 +424,30 @@ class ShardedColumnarRelation(ColumnarRelation):
                 shard.add_coded_batch(part)
         self._invalidate()
         self._rebase()
+
+    def remove_coded_batch(self, codes: np.ndarray) -> int:
+        """Bulk-delete already-encoded rows, hash-routed to the shards.
+
+        A matching removal is a global history barrier, like the
+        unsharded counterpart; an empty or fully-absent batch touches
+        nothing.  WAL replay and replication followers use this to
+        re-apply ``retain`` barriers (logged as removed code rows).
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 2:
+            codes = codes.reshape(len(codes), self.arity)
+        if not len(codes):
+            return 0
+        ids = self._route_codes(codes)
+        removed = 0
+        for index, shard in enumerate(self._shards):
+            part = codes[ids == index]
+            if len(part):
+                removed += shard.remove_coded_batch(part)
+        if removed:
+            self._invalidate()
+            self._rebase()
+        return removed
 
     def add_all(self, rows: Iterable[Sequence[Value]]) -> None:
         """Batched ingestion: encode once, route whole code batches.
@@ -447,6 +537,37 @@ class ShardedColumnarRelation(ColumnarRelation):
         )
         out._shards = [shard.copy() for shard in self._shards]
         return out
+
+    # ------------------------------------------------------------------
+    # durability (snapshot / restore)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> List[Tuple[np.ndarray, int]]:
+        """Per-shard ``(codes, stamp)`` pairs, for checkpointing.
+
+        Shards are snapshotted individually (the ISSUE's per-shard
+        column files); the parent's global stamp is the sum of the
+        shard stamps, so nothing beyond the pairs needs persisting.
+        """
+        return [shard.snapshot_state() for shard in self._shards]
+
+    def restore_state(  # type: ignore[override]
+        self, shard_states: Sequence[Tuple[np.ndarray, int]], stamp: int = 0
+    ) -> None:
+        """Install per-shard snapshots and rebase the routing history.
+
+        The rebase makes the restored global stamp the new answerable
+        floor — pre-snapshot global stamps raise, exactly as if every
+        shard had compacted at snapshot time.
+        """
+        if len(shard_states) != self.shard_count:
+            raise ValueError(
+                f"snapshot has {len(shard_states)} shards, relation "
+                f"has {self.shard_count}"
+            )
+        for shard, (codes, shard_stamp) in zip(self._shards, shard_states):
+            shard.restore_state(codes, shard_stamp)
+        self._invalidate()
+        self._rebase()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -83,6 +83,7 @@ from repro.db.columnar import (
 from repro.db.database import Database
 from repro.db.interface import (
     StaleStructureError,
+    TruncatedHistoryError,
     snapshot_stamps,
     stale_relations,
 )
@@ -607,11 +608,14 @@ class LexDirectAccess:
         plan: List[Tuple[str, np.ndarray, np.ndarray]] = []
         for name, stamp in drifted.items():
             delta_since = getattr(self._db[name], "delta_since", None)
-            delta = delta_since(stamp) if delta_since is not None else None
-            if delta is None:
+            if delta_since is None:
                 self._build()
                 return
-            inserted, deleted = delta
+            try:
+                inserted, deleted = delta_since(stamp)
+            except TruncatedHistoryError:
+                self._build()
+                return
             plan.append((name, np.asarray(inserted), np.asarray(deleted)))
         for name, inserted, deleted in plan:
             nodes = self._atom_nodes.get(name, ())

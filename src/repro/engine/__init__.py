@@ -30,7 +30,14 @@ Layers:
   answer structures; live under updates) and :class:`AnswerSet` (the
   uniform ``len`` / iterate / ``[i]`` / slice / aggregate handle).
 - :mod:`repro.engine.session` — :class:`Session` / :func:`connect`:
-  database ownership, update flow, and backend mirrors.
+  database ownership, update flow, and backend mirrors; with
+  ``connect(path=...)`` the session is durable (WAL + checkpoints,
+  see :mod:`repro.db.wal`) and ``Session.checkpoint()`` persists the
+  prepared plans for a warm restart.
+- :mod:`repro.engine.replication` — :class:`LeaderFeed` /
+  :class:`FollowerSession`: read-only replica sessions that consume
+  shipped ``delta_since`` batches with retry/backoff and fall back
+  to snapshot reseed across history barriers.
 
 The low-level pipelines remain public and are what the engine runs
 underneath — see the "which API do I want" table in :mod:`repro`.
@@ -38,14 +45,24 @@ underneath — see the "which API do I want" table in :mod:`repro`.
 
 from repro.engine.planner import Plan, PlanRoute, plan_query
 from repro.engine.prepared import AnswerSet, PreparedQuery
+from repro.engine.replication import (
+    FollowerSession,
+    LeaderFeed,
+    ReplicationError,
+    TransientReplicationError,
+)
 from repro.engine.session import Session, connect
 
 __all__ = [
     "AnswerSet",
+    "FollowerSession",
+    "LeaderFeed",
     "Plan",
     "PlanRoute",
     "PreparedQuery",
+    "ReplicationError",
     "Session",
+    "TransientReplicationError",
     "connect",
     "plan_query",
 ]

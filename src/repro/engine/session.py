@@ -33,9 +33,11 @@ primary still self-repair through their mutation stamps).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence, Union
+import json
+import os
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
-from repro.db.database import Database
+from repro.db.database import Database, attach
 from repro.db.interface import (
     DEFAULT_COLUMNAR_CUTOFF,
     check_backend,
@@ -48,6 +50,12 @@ from repro.query.parser import parse_query
 from repro.semiring.semirings import Semiring
 
 QueryLike = Union[str, ConjunctiveQuery]
+
+#: Prepared-plan manifest written next to a durable database by
+#: :meth:`Session.checkpoint` and replayed by ``connect(path=...)``
+#: so a restarted session re-prepares its plans *warm* — against the
+#: recovered relations — instead of each caller re-deriving them.
+SESSION_FILE = "session.json"
 
 
 class Session:
@@ -176,6 +184,88 @@ class Session:
                 db[relation].discard(row)
 
     # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> str:
+        """Checkpoint the durable database and persist prepared plans.
+
+        Requires the session to own a
+        :class:`~repro.db.database.DurableDatabase` (open one with
+        ``connect(path=...)`` or :func:`repro.db.attach`).  Snapshots
+        every relation, rotates the WAL, and writes ``session.json``
+        — the prepared queries' text and paging order — next to the
+        manifest, so the next ``connect(path=...)`` re-prepares them
+        against the recovered data (the *warm restart*: plans and
+        answer structures rebuild from ``np.load``-ed codes, not from
+        re-ingesting rows).  Returns the snapshot directory path.
+        """
+        checkpoint_db = getattr(self.db, "checkpoint", None)
+        if checkpoint_db is None:
+            raise TypeError(
+                "session database is not durable; open one with "
+                "connect(path=...) or repro.db.attach(path)"
+            )
+        snapshot_path = checkpoint_db()
+        self._save_prepared_specs()
+        return snapshot_path
+
+    def _prepared_specs(self) -> List[dict]:
+        """JSON-serializable re-prepare specs for the cached plans.
+
+        Semirings are live objects with no stable serial form, so
+        entries prepared with an explicit default semiring are
+        skipped — their queries still recover cold.  The resolved
+        backend is *not* persisted: the planner re-resolves it
+        against the recovered sizes, which is the correct choice when
+        the database grew across a cutoff since the checkpoint.
+        """
+        specs: List[dict] = []
+        seen = set()
+        for text, order, _backend, semiring in self._prepared:
+            if semiring is not None:
+                continue
+            if (text, order) in seen:
+                continue
+            seen.add((text, order))
+            specs.append(
+                {
+                    "query": text,
+                    "order": list(order) if order is not None else None,
+                }
+            )
+        return specs
+
+    def _save_prepared_specs(self) -> None:
+        root = self.db.path  # durable databases always have one
+        payload = json.dumps(
+            {"version": 1, "prepared": self._prepared_specs()}, indent=1
+        ).encode("utf-8")
+        tmp = os.path.join(root, SESSION_FILE + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, os.path.join(root, SESSION_FILE))
+
+    def _restore_prepared_specs(self) -> None:
+        path = os.path.join(getattr(self.db, "path", ""), SESSION_FILE)
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path, "rb") as handle:
+                manifest = json.loads(handle.read().decode("utf-8"))
+            specs = manifest.get("prepared", [])
+        except (OSError, ValueError):  # corrupt manifest: stay cold
+            return
+        for spec in specs:
+            try:
+                self.prepare(spec["query"], order=spec.get("order"))
+            except Exception:
+                # A spec that no longer parses or plans (schema moved
+                # on) must not block recovery of the data itself.
+                continue
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def size(self) -> int:
@@ -234,6 +324,35 @@ def connect(
     db: Union[Database, Mapping, None] = None,
     backend: str = "python",
     columnar_cutoff: int = DEFAULT_COLUMNAR_CUTOFF,
+    path: Optional[str] = None,
+    shard_count: Optional[int] = None,
+    sync: str = "batch",
 ) -> Session:
-    """Open a :class:`Session` (the engine's ``connect(...)`` idiom)."""
+    """Open a :class:`Session` (the engine's ``connect(...)`` idiom).
+
+    With ``path=...`` the session is *durable*: the directory is
+    opened (or recovered) via :func:`repro.db.attach`, every update
+    through the session lands in the write-ahead log, and
+    :meth:`Session.checkpoint` snapshots data *and* prepared plans.
+    Reconnecting to an existing directory is a **warm restart**:
+    relations recover from the committed checkpoint plus the WAL
+    suffix, and the plans persisted by the last ``checkpoint()`` are
+    re-prepared automatically, so the first query after a crash pays
+    recovery, not re-ingestion.  ``backend``/``shard_count`` shape a
+    fresh directory only (the stored backend wins on recovery);
+    ``sync`` picks the WAL fsync policy (``"always"``/``"batch"``/
+    ``"never"``).  ``db`` and ``path`` are mutually exclusive.
+    """
+    if path is not None:
+        if db is not None:
+            raise TypeError(
+                "connect() takes either an in-memory db or a durable "
+                "path, not both"
+            )
+        durable = attach(
+            path, backend=backend, shard_count=shard_count, sync=sync
+        )
+        session = Session(durable, columnar_cutoff=columnar_cutoff)
+        session._restore_prepared_specs()
+        return session
     return Session(db, backend=backend, columnar_cutoff=columnar_cutoff)

@@ -60,7 +60,11 @@ from repro.db.columnar import (
     lookup_rows,
 )
 from repro.db.database import Database
-from repro.db.interface import snapshot_stamps, stale_relations
+from repro.db.interface import (
+    TruncatedHistoryError,
+    snapshot_stamps,
+    stale_relations,
+)
 from repro.hypergraph.gyo import join_tree
 from repro.hypergraph.jointree import JoinTree
 from repro.joins.frame import Frame
@@ -895,11 +899,14 @@ class AggregateMaintainer:
         plan: List[Tuple[str, np.ndarray, np.ndarray]] = []
         for name, stamp in drifted.items():
             delta_since = getattr(self.db[name], "delta_since", None)
-            delta = delta_since(stamp) if delta_since is not None else None
-            if delta is None:
+            if delta_since is None:
                 self._rebuild()
                 return
-            inserted, deleted = delta
+            try:
+                inserted, deleted = delta_since(stamp)
+            except TruncatedHistoryError:
+                self._rebuild()
+                return
             if len(deleted) and self._negate is None:
                 self._rebuild()
                 return

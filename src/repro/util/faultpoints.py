@@ -1,0 +1,135 @@
+"""Deterministic fault injection for the durability subsystem.
+
+Crash safety is a *property*, not an anecdote: "we recover from a crash
+at any point" is only testable if every dangerous point — each write,
+fsync and rename in :mod:`repro.db.wal` and :mod:`repro.db.checkpoint`
+— can be made to fail on demand, deterministically, under test control.
+
+This module is that control plane.  Durability code declares its crash
+points once at import time (:func:`declare`) and calls
+:func:`fault_point` (raise-on-arm) or :func:`fires` (check-on-arm, for
+sites that simulate *partial* damage such as a torn tail write) at each
+site.  Tests arm a single point with :func:`arm`/:func:`crashing`, run
+the workload until :class:`InjectedCrash` fires, then recover and check
+invariants.  Nothing here is probabilistic: a point armed ``at=3``
+fires on exactly its third visit, every run.
+
+When no point is armed the hooks are a dict lookup on an empty dict —
+cheap enough to leave in production code paths.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
+
+__all__ = [
+    "InjectedCrash",
+    "arm",
+    "crashing",
+    "declare",
+    "disarm",
+    "fault_point",
+    "fires",
+    "hits",
+    "known_fault_points",
+    "reset",
+]
+
+
+class InjectedCrash(RuntimeError):
+    """Raised (or simulated) at an armed fault point.
+
+    Deliberately *not* an ``Exception`` subclass of anything the
+    durability code catches: it must propagate like a real crash
+    (power loss, ``kill -9``) and leave on-disk state exactly as the
+    interrupted operation left it.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at fault point {point!r}")
+        self.point = point
+
+
+# Registry of every declared point (name -> declaring module), the
+# armed countdowns, and per-point hit counters for test assertions.
+_DECLARED: Dict[str, str] = {}
+_ARMED: Dict[str, int] = {}
+_HITS: Dict[str, int] = {}
+
+
+def declare(*names: str, module: str = "") -> Tuple[str, ...]:
+    """Register fault points; returns the names for re-export.
+
+    Durability modules call this at import time so that test suites can
+    enumerate *every* crash point (:func:`known_fault_points`) and prove
+    each one is covered, rather than hard-coding a list that silently
+    rots when a new write site is added.
+    """
+    for name in names:
+        _DECLARED.setdefault(name, module)
+    return names
+
+
+def known_fault_points() -> Tuple[str, ...]:
+    """All declared fault points, sorted (for exhaustive coverage loops)."""
+    return tuple(sorted(_DECLARED))
+
+
+def arm(point: str, at: int = 1) -> None:
+    """Arm ``point`` to fire on its ``at``-th visit (1-based)."""
+    if point not in _DECLARED:
+        raise ValueError(f"unknown fault point {point!r}")
+    if at < 1:
+        raise ValueError(f"fault point visit count must be >= 1, got {at}")
+    _ARMED[point] = at
+
+
+def disarm(point: str) -> None:
+    """Disarm ``point`` (no-op if it is not armed)."""
+    _ARMED.pop(point, None)
+
+
+def reset() -> None:
+    """Disarm everything and clear hit counters (test teardown)."""
+    _ARMED.clear()
+    _HITS.clear()
+
+
+def hits(point: str) -> int:
+    """How many times ``point`` actually fired since the last reset."""
+    return _HITS.get(point, 0)
+
+
+def fires(point: str) -> bool:
+    """True exactly when the armed countdown for ``point`` reaches zero.
+
+    For sites that must *simulate damage* rather than merely raise —
+    e.g. a torn append that writes half a record before dying — the
+    site checks :func:`fires` first, inflicts the partial write, then
+    raises :class:`InjectedCrash` itself.
+    """
+    if point not in _ARMED:
+        return False
+    _ARMED[point] -= 1
+    if _ARMED[point] > 0:
+        return False
+    del _ARMED[point]
+    _HITS[point] = _HITS.get(point, 0) + 1
+    return True
+
+
+def fault_point(point: str) -> None:
+    """Crash here if ``point`` is armed and its countdown expires."""
+    if fires(point):
+        raise InjectedCrash(point)
+
+
+@contextmanager
+def crashing(point: str, at: int = 1) -> Iterator[None]:
+    """Arm ``point`` for the duration of the block, disarm on exit."""
+    arm(point, at=at)
+    try:
+        yield
+    finally:
+        disarm(point)

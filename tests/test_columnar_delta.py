@@ -7,8 +7,9 @@ contract (:mod:`repro.db.interface`):
 
 - ``mutation_stamp`` is monotone on both backends;
 - ``delta_since`` is *exact* — logically-absorbed ops cancel — and
-  answers ``None`` only past a history barrier (compaction, bulk
-  ``add_all``, removing ``retain``);
+  raises the typed :class:`~repro.db.interface.TruncatedHistoryError`
+  only past a history barrier (compaction, bulk ``add_all``, removing
+  ``retain``), carrying both stamps;
 - ``retain`` interleaved with buffered ops acts on the merged view;
 - and a hypothesis state machine drives arbitrary interleavings of
   ``add``/``add_all``/``discard``/``retain`` against the Python
@@ -31,6 +32,7 @@ from repro.db.columnar import (
     DELTA_COMPACT_MIN,
     ColumnarRelation,
 )
+from repro.db.interface import StaleStructureError, TruncatedHistoryError
 from repro.db.relation import Relation
 
 
@@ -103,7 +105,31 @@ def test_delta_since_trivial_and_out_of_range():
     now = rel.mutation_stamp
     inserted, deleted = rel.delta_since(now)
     assert not len(inserted) and not len(deleted)
-    assert rel.delta_since(now + 1) is None
+    with pytest.raises(TruncatedHistoryError):
+        rel.delta_since(now + 1)
+
+
+def test_truncated_history_error_is_typed_and_carries_stamps():
+    rel = ColumnarRelation("R", 1, [(i,) for i in range(10)])
+    stamp = rel.mutation_stamp
+    rel.add_all([(100 + i,) for i in range(DELTA_COMPACT_MIN + 1)])  # barrier
+    with pytest.raises(TruncatedHistoryError) as excinfo:
+        rel.delta_since(stamp)
+    err = excinfo.value
+    assert isinstance(err, StaleStructureError)  # old handlers still catch
+    assert err.relation == "R"
+    assert err.requested_stamp == stamp
+    assert err.barrier_stamp == rel.mutation_stamp
+    assert str(stamp) in str(err) and str(err.barrier_stamp) in str(err)
+
+
+def test_python_backend_raises_typed_error_on_drift():
+    rel = Relation("R", 1, [(1,)])
+    stamp = rel.mutation_stamp
+    rel.add((2,))
+    with pytest.raises(TruncatedHistoryError) as excinfo:
+        rel.delta_since(stamp)
+    assert excinfo.value.requested_stamp == stamp
 
 
 def test_compaction_truncates_history_but_not_content():
@@ -111,7 +137,8 @@ def test_compaction_truncates_history_but_not_content():
     stamp = rel.mutation_stamp
     for i in range(DELTA_COMPACT_MIN + 5):
         rel.add((1000 + i,))
-    assert rel.delta_since(stamp) is None  # compacted past the threshold
+    with pytest.raises(TruncatedHistoryError):
+        rel.delta_since(stamp)  # compacted past the threshold
     assert rel.delta_size <= DELTA_COMPACT_MIN + 5
     assert len(rel) == 100 + DELTA_COMPACT_MIN + 5
     # a fresh stamp is answerable again
@@ -141,7 +168,8 @@ def test_bulk_add_all_is_a_barrier_small_is_not():
     inserted, _ = rel.delta_since(stamp)
     assert decode_rows(rel, inserted) == {(100,), (101,)}
     rel.add_all([(200 + i,) for i in range(DELTA_COMPACT_MIN + 1)])
-    assert rel.delta_since(stamp) is None  # bulk rewrite
+    with pytest.raises(TruncatedHistoryError):
+        rel.delta_since(stamp)  # bulk rewrite
 
 
 def test_retain_applies_to_merged_view_and_is_a_barrier():
@@ -153,9 +181,11 @@ def test_retain_applies_to_merged_view_and_is_a_barrier():
     # merged view was {1..5, 10}: odd members 1, 3, 5 are removed.
     assert removed == 3
     assert rel.rows() == {(2,), (4,), (10,)}
-    assert rel.delta_since(stamp) is None  # history barrier
+    with pytest.raises(TruncatedHistoryError):
+        rel.delta_since(stamp)  # history barrier
     # equal stamps still mean "no change"
-    assert rel.delta_since(rel.mutation_stamp) is not None
+    inserted, deleted = rel.delta_since(rel.mutation_stamp)
+    assert not len(inserted) and not len(deleted)
 
 
 def test_arity_zero_delta():
@@ -259,8 +289,9 @@ class DeltaSegmentMachine(RuleBasedStateMachine):
     def deltas_replay_exactly(self):
         current = self.col.rows()
         for stamp, rows in self.snapshots:
-            delta = self.col.delta_since(stamp)
-            if delta is None:
+            try:
+                delta = self.col.delta_since(stamp)
+            except TruncatedHistoryError:
                 continue  # history barrier passed; rebuild regime
             inserted = decode_rows(self.col, delta[0])
             deleted = decode_rows(self.col, delta[1])

@@ -33,6 +33,7 @@ def run_example(name: str) -> None:
         "ranked_paging",
         "weighted_aggregation",
         "sharded_ingestion",
+        "durable_session",
     ],
 )
 def test_example_runs(name, capsys):

@@ -1,0 +1,200 @@
+"""Replicated follower sessions: convergence, retries, reseed.
+
+:mod:`repro.engine.replication` turns the ``delta_since`` contract
+into a leader/follower protocol.  Pinned here:
+
+- a follower bootstraps bit-identical content from the handshake and
+  converges after arbitrary leader updates via coded delta pulls, on
+  all three backends;
+- the follower's *own* prepared queries stay live across syncs (the
+  replica is a full session, not a passive mirror);
+- transient transport failures retry with exponential backoff
+  (injectable sleep — the tests assert the actual delays) and give
+  up with :class:`ReplicationError` when attempts or the time budget
+  run out;
+- a history barrier on the leader (bulk load, compaction, recovery)
+  triggers the snapshot-reseed fallback instead of an error, and the
+  reseed converges by diffing rather than reloading.
+"""
+
+import pytest
+
+from repro.engine import connect
+from repro.engine.replication import (
+    FollowerSession,
+    LeaderFeed,
+    ReplicationError,
+    TransientReplicationError,
+)
+
+BACKENDS = ("python", "columnar", "sharded")
+
+
+class FlakyFeed:
+    """Wraps a feed; every pull fails ``failures`` times first."""
+
+    def __init__(self, feed, failures=0):
+        self.feed = feed
+        self.failures = failures
+        self.calls = 0
+
+    def handshake(self):
+        return self.feed.handshake()
+
+    def pull(self, stamps, dict_len):
+        self.calls += 1
+        if (self.calls - 1) % (self.failures + 1) < self.failures:
+            raise TransientReplicationError("dropped connection")
+        return self.feed.pull(stamps, dict_len)
+
+
+def state(db):
+    return {rel.name: set(map(tuple, rel)) for rel in db}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_follower_bootstraps_and_converges(backend):
+    leader = connect(
+        {"R": [(i, i + 1) for i in range(20)], "S": [(3, 7)]},
+        backend=backend,
+    )
+    follower = FollowerSession(LeaderFeed(leader))
+    assert follower.db.backend == backend
+    assert state(follower.db) == state(leader.db)
+
+    leader.add("R", (100, 101))
+    leader.discard("R", (0, 1))
+    leader.add("S", (9, 9))
+    summary = follower.sync()
+    assert summary["applied"] + summary["reseeded"] == 2
+    assert state(follower.db) == state(leader.db)
+
+    # idempotent when nothing changed
+    follower.sync()
+    assert state(follower.db) == state(leader.db)
+
+
+def test_follower_prepared_queries_stay_live():
+    leader = connect(
+        {"R": [(1, 2), (2, 3)], "S": [(2, 9)]}, backend="columnar"
+    )
+    follower = FollowerSession(LeaderFeed(leader))
+    answers = follower.prepare("q(x) :- R(x, y), S(y, z)").run()
+    assert set(map(tuple, answers)) == {(1,)}
+    leader.add("R", (7, 2))
+    leader.add("S", (3, 0))
+    follower.sync()
+    assert set(map(tuple, answers)) == {(1,), (2,), (7,)}
+
+
+def test_new_leader_relation_reaches_the_follower():
+    leader = connect({"R": [(1, 2)]}, backend="columnar")
+    follower = FollowerSession(LeaderFeed(leader))
+    leader.add("New", (5, 6))  # created after the handshake
+    follower.sync()
+    assert state(follower.db) == state(leader.db)
+
+
+def test_reseed_after_leader_barrier():
+    leader = connect({"R": [(1, 2), (2, 3)]}, backend="columnar")
+    follower = FollowerSession(LeaderFeed(leader))
+    live = follower.prepare("q(x, y) :- R(x, y)").run()
+    # bulk load + compaction: a history barrier — the follower's
+    # stamp now predates the leader's truncation point
+    leader.db["R"].add_all([(i, 0) for i in range(200)])
+    leader.db["R"].discard((1, 2))
+    leader.db["R"].compact()
+    summary = follower.sync()
+    assert summary["reseeded"] == 1
+    assert state(follower.db) == state(leader.db)
+    assert len(live) == len(leader.db["R"])
+    # the next pull is a plain delta again
+    leader.add("R", (999, 999))
+    assert follower.sync() == {"applied": 1, "reseeded": 0}
+    assert state(follower.db) == state(leader.db)
+
+
+def test_python_backend_always_reseeds_and_still_converges():
+    leader = connect({"R": [(1, 2)]}, backend="python")
+    follower = FollowerSession(LeaderFeed(leader))
+    leader.add("R", (3, 4))  # every python mutation is a barrier
+    summary = follower.sync()
+    assert summary["reseeded"] == 1
+    assert state(follower.db) == state(leader.db)
+
+
+def test_transient_failures_retry_with_exponential_backoff():
+    leader = connect({"R": [(1, 2)]}, backend="columnar")
+    flaky = FlakyFeed(LeaderFeed(leader), failures=3)
+    sleeps = []
+    follower = FollowerSession(
+        flaky, retries=5, backoff=0.01, sleep=sleeps.append
+    )
+    leader.add("R", (9, 9))
+    follower.sync()
+    assert state(follower.db) == state(leader.db)
+    assert sleeps == [0.01, 0.02, 0.04]  # doubling per attempt
+
+
+def test_retries_exhausted_raises_terminal_error():
+    leader = connect({"R": [(1, 2)]}, backend="columnar")
+    flaky = FlakyFeed(LeaderFeed(leader), failures=10)
+    follower = FollowerSession(
+        flaky, retries=3, backoff=0.0, sleep=lambda s: None
+    )
+    with pytest.raises(ReplicationError) as excinfo:
+        follower.sync()
+    assert "after 3 attempts" in str(excinfo.value)
+    assert not isinstance(excinfo.value, TransientReplicationError)
+
+
+def test_time_budget_cuts_retries_short():
+    leader = connect({"R": [(1, 2)]}, backend="columnar")
+    flaky = FlakyFeed(LeaderFeed(leader), failures=10)
+    clock = {"now": 0.0}
+
+    def fake_sleep(seconds):
+        clock["now"] += seconds
+
+    follower = FollowerSession(
+        flaky,
+        retries=50,
+        backoff=1.0,
+        timeout=2.5,
+        sleep=fake_sleep,
+        clock=lambda: clock["now"],
+    )
+    with pytest.raises(ReplicationError) as excinfo:
+        follower.sync()
+    assert "timed out" in str(excinfo.value)
+    assert flaky.calls < 10  # the budget, not the retry cap, stopped it
+
+
+def test_one_feed_serves_followers_at_different_positions():
+    leader = connect({"R": [(1, 2)]}, backend="columnar")
+    feed = LeaderFeed(leader)
+    early = FollowerSession(feed)
+    leader.add("R", (3, 4))
+    late = FollowerSession(feed)
+    assert state(late.db) == state(leader.db)
+    assert state(early.db) != state(leader.db)
+    early.sync()
+    assert state(early.db) == state(leader.db)
+
+
+def test_durable_leader_feeds_a_follower(tmp_path):
+    """The pieces compose: a recovered durable session can lead."""
+    path = str(tmp_path / "leader")
+    session = connect(path=path, backend="columnar")
+    for i in range(10):
+        session.add("R", (i, i + 1))
+    session.checkpoint()
+    session.db.close()
+
+    recovered = connect(path=path)
+    follower = FollowerSession(LeaderFeed(recovered))
+    assert state(follower.db) == state(recovered.db)
+    recovered.add("R", (99, 100))
+    follower.sync()
+    assert state(follower.db) == state(recovered.db)
+    recovered.db.close()

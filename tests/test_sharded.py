@@ -12,11 +12,13 @@ promise of the aggregate path.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.counting import count_answers
 from repro.db import Database, Relation, ShardedColumnarRelation
+from repro.db.interface import TruncatedHistoryError
 from repro.db.columnar import reset_decoded_row_count, decoded_row_count
 from repro.db.sharded import (
     coalesced_row_peak,
@@ -122,7 +124,8 @@ def test_preferred_backend_never_reencodes_columnar():
 def test_empty_relation_and_arity_zero():
     empty = ShardedColumnarRelation("E", 2, shard_count=3)
     assert len(empty) == 0 and empty.is_empty()
-    assert empty.delta_since(empty.mutation_stamp) is not None
+    inserted, deleted = empty.delta_since(empty.mutation_stamp)
+    assert not len(inserted) and not len(deleted)
     nullary = ShardedColumnarRelation("N", 0, shard_count=3)
     nullary.add(())
     assert len(nullary) == 1 and () in nullary
@@ -253,10 +256,10 @@ def test_delta_since_is_exact(seed_rows, ops, shard_count):
             rel.discard(row)
             oracle.discard(row)
     assert rel.rows() == frozenset(oracle)
-    delta = rel.delta_since(stamp)
-    if delta is None:
+    try:
+        inserted, deleted = rel.delta_since(stamp)
+    except TruncatedHistoryError:
         return  # history legitimately truncated (shard compaction)
-    inserted, deleted = delta
     decode = rel.dictionary.decode
     ins = {tuple(decode(c) for c in row) for row in inserted.tolist()}
     dele = {tuple(decode(c) for c in row) for row in deleted.tolist()}
@@ -267,17 +270,21 @@ def test_delta_since_is_exact(seed_rows, ops, shard_count):
     assert not ins & dele
 
 
-def test_delta_since_none_after_barriers():
+def test_delta_since_raises_after_barriers():
     rel = ShardedColumnarRelation("R", 2, shard_count=3)
     rel.add_all([(i, i) for i in range(10)])
     stamp = rel.mutation_stamp
     rel.add_all([(i, i + 1) for i in range(200)])  # bulk: barrier
-    assert rel.delta_since(stamp) is None
+    with pytest.raises(TruncatedHistoryError) as excinfo:
+        rel.delta_since(stamp)
+    assert excinfo.value.relation == "R"  # parent name, not a shard's
     stamp = rel.mutation_stamp
     assert rel.retain(lambda t: t[0] % 2 == 0) > 0
-    assert rel.delta_since(stamp) is None
+    with pytest.raises(TruncatedHistoryError):
+        rel.delta_since(stamp)
     # Unanswerable stamps from before construction-time history.
-    assert rel.delta_since(-1) is None
+    with pytest.raises(TruncatedHistoryError):
+        rel.delta_since(-1)
 
 
 def test_shard_local_contract():
