@@ -1,0 +1,200 @@
+"""A11 — the self-healing layer's two costs.
+
+The self-healing storage additions (PR 7) must earn their keep in the
+two places they touch, and both are asserted, not eyeballed:
+
+- **incremental checkpoint write volume** — with a large cold
+  relation and a small hot one, a checkpoint after mutating only the
+  hot relation must write bytes proportional to the *hot* relation,
+  not the database: asserted ``<= 2x`` the hot relation's own base
+  snapshot size (the factor covers ``meta.json`` and the dictionary
+  suffix riding along), and reported against the full-base write for
+  the trajectory.
+- **WAL-file follower catch-up** — bootstrapping a read replica over
+  a checkpointed backlog straight from the leader's durable files
+  (bulk ``np.load`` of the chain + streamed replay of coded WAL
+  batches) vs the live-feed handshake (which ships full content and
+  converges by per-tuple set diffing).  Both roads must land
+  bit-identical content and stamp-exact handoff; the file road is
+  asserted ``>= 3x`` faster on a 100k-op backlog.
+
+Timings append to ``benchmarks/BENCH_backends.json`` for the perf
+trajectory.  Set ``BENCH_SMOKE=1`` for tiny sizes with the speed
+assertion skipped (the parity and write-volume assertions always
+run; CI wires this into the bench-smoke matrix).
+"""
+
+import os
+import time
+
+from repro.db import attach
+from repro.db import checkpoint as ckpt
+from repro.engine.replication import FollowerSession, LeaderFeed
+from repro.util.rng import make_rng
+
+from benchmarks._harness import emit_perf_trajectory, fmt_seconds
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+COLD_ROWS = 5_000 if SMOKE else 200_000
+HOT_ROWS = 200 if SMOKE else 2_000
+BACKLOG_OPS = 2_000 if SMOKE else 100_000
+BATCH_ROWS = 1_000
+# An incremental checkpoint may write at most this multiple of the
+# touched relation's own base snapshot footprint.
+MAX_INCREMENTAL_FACTOR = 2.0
+# WAL-file catch-up must beat the live-feed bootstrap by this factor.
+MIN_CATCHUP_SPEEDUP = 3.0
+
+
+def _timed(run):
+    start = time.perf_counter()
+    result = run()
+    return result, time.perf_counter() - start
+
+
+def _emit(workload, m, seconds):
+    emit_perf_trajectory(
+        "backends",
+        [
+            {
+                "workload": workload,
+                "backend": backend,
+                "m": m,
+                "seconds": value,
+            }
+            for backend, value in seconds.items()
+        ],
+    )
+
+
+def _state(db):
+    return {rel.name: set(map(tuple, rel)) for rel in db}
+
+
+def test_a11_incremental_checkpoint_bytes(
+    benchmark, experiment_report, tmp_path
+):
+    rng = make_rng(47)
+    root = str(tmp_path / "incr-bench")
+    db = attach(root, backend="columnar", sync="batch")
+    db.ensure_relation("Cold", 2).add_all(
+        [(rng.randrange(COLD_ROWS), rng.randrange(1024))
+         for _ in range(COLD_ROWS)]
+    )
+    db.ensure_relation("Hot", 2).add_all(
+        [(rng.randrange(1024), rng.randrange(1024))
+         for _ in range(HOT_ROWS)]
+    )
+
+    def run():
+        db.checkpoint(full=True)
+        base = db.last_checkpoint
+        # touch only Hot, with values the dictionary already holds
+        db["Hot"].add_all(
+            [(rng.randrange(1024), rng.randrange(1024))
+             for _ in range(max(HOT_ROWS // 10, 1))]
+        )
+        _, full_seconds = _timed(lambda: db.checkpoint(full=True))
+        full = db.last_checkpoint
+        db["Hot"].add((1, 2))
+        _, delta_seconds = _timed(db.checkpoint)
+        return base, full, db.last_checkpoint, {
+            "full": full_seconds,
+            "incremental": delta_seconds,
+        }
+
+    base, full, delta, seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert not delta["full"]
+    hot_bytes = sum(
+        info["size"]
+        for relpath, info in ckpt.read_manifest(root)["files"].items()
+        if relpath.startswith(f"ckpt-{full['index']}/1.")
+    )
+    assert hot_bytes  # Hot's payloads live in the previous full base
+    factor = delta["bytes_written"] / hot_bytes
+    experiment_report.row(
+        f"incremental checkpoint, 1 hot / {COLD_ROWS}-row cold",
+        f"<= {MAX_INCREMENTAL_FACTOR}x the hot relation's "
+        "base footprint",
+        f"{delta['bytes_written']} B vs hot base {hot_bytes} B "
+        f"({factor:.2f}x; full base wrote "
+        f"{full['bytes_written']} B)",
+    )
+    # deterministic, so asserted even at smoke sizes
+    assert factor <= MAX_INCREMENTAL_FACTOR
+    assert delta["bytes_written"] < full["bytes_written"]
+    # recovery over the chain stays exact
+    expected = _state(db)
+    db.close()
+    recovered = attach(root)
+    assert _state(recovered) == expected
+    recovered.close()
+    _emit("selfheal_checkpoint", COLD_ROWS + HOT_ROWS, seconds)
+
+
+def test_a11_wal_file_catchup(benchmark, experiment_report, tmp_path):
+    rng = make_rng(53)
+    root = str(tmp_path / "catchup-bench")
+    leader = attach(root, backend="columnar", sync="batch")
+    rel = leader.ensure_relation("R", 2)
+    rows = [
+        (rng.randrange(BACKLOG_OPS), rng.randrange(4096))
+        for _ in range(BACKLOG_OPS)
+    ]
+    # a leader that checkpoints periodically: most of the backlog sits
+    # in the (bulk-loadable) chain, the recent tail in the WAL — the
+    # shape a cold follower actually meets
+    tail = max(len(rows) // 20, BATCH_ROWS)
+    for i in range(0, len(rows) - tail, BATCH_ROWS):
+        rel.add_all(rows[i : i + BATCH_ROWS])
+    leader.checkpoint()
+    for i in range(len(rows) - tail, len(rows), BATCH_ROWS):
+        rel.add_all(rows[i : i + BATCH_ROWS])
+    leader.flush()
+    feed = LeaderFeed(leader)
+
+    def run():
+        seconds, built = {}, {}
+        for _ in range(1 if SMOKE else 3):
+            follower, elapsed = _timed(lambda: FollowerSession(feed))
+            built["live_feed"] = follower
+            seconds["live_feed"] = min(
+                seconds.get("live_feed", elapsed), elapsed
+            )
+            follower, elapsed = _timed(
+                lambda: FollowerSession(feed, catchup_path=root)
+            )
+            built["wal_files"] = follower
+            seconds["wal_files"] = min(
+                seconds.get("wal_files", elapsed), elapsed
+            )
+        return built, seconds
+
+    built, seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    # parity first: both roads land bit-identical content, and the
+    # file road lands stamp-exact (the live handoff never reseeds)
+    assert _state(built["live_feed"].db) == _state(leader)
+    assert _state(built["wal_files"].db) == _state(leader)
+    assert built["wal_files"]._leader_stamps == {
+        r.name: r.mutation_stamp for r in leader
+    }
+    leader["R"].add((BACKLOG_OPS + 7, 7))
+    summary = built["wal_files"].sync()
+    assert summary["reseeded"] == 0
+    assert _state(built["wal_files"].db) == _state(leader)
+
+    speedup = seconds["live_feed"] / seconds["wal_files"]
+    experiment_report.row(
+        f"WAL-file catch-up, {BACKLOG_OPS}-op backlog",
+        f"identical content + stamp-exact handoff, "
+        f">= {MIN_CATCHUP_SPEEDUP}x vs live-feed bootstrap",
+        f"{speedup:.1f}x (live {fmt_seconds(seconds['live_feed'])}, "
+        f"files {fmt_seconds(seconds['wal_files'])})",
+    )
+    _emit("selfheal_catchup", BACKLOG_OPS, seconds)
+    leader.close()
+    if not SMOKE:
+        assert speedup >= MIN_CATCHUP_SPEEDUP

@@ -26,6 +26,7 @@ import shutil
 import tempfile
 
 from repro import connect
+from repro.db.checkpoint import read_manifest
 from repro.engine.replication import FollowerSession, LeaderFeed
 
 
@@ -56,16 +57,16 @@ def main() -> None:
             session.prepare("q(a, b) :- Follows(a, b), Active(b)")
         )
         session.db.flush()
-        wal_files = [
-            name for name in os.listdir(root) if name.startswith("wal-")
-        ]
+        # the manifest names the *active* WAL; the checkpoint also
+        # sealed the previous epoch's file as an immutable segment
+        active_wal = read_manifest(root)["wal"]
         print(
             f"checkpointed; {len(oracle)} answers now live in "
-            f"ckpt-1 + {wal_files[0]}"
+            f"ckpt-1 + {active_wal}"
         )
 
         # --- crash: tear the last WAL record in half, mid-byte
-        wal_path = os.path.join(root, wal_files[0])
+        wal_path = os.path.join(root, active_wal)
         size = os.path.getsize(wal_path)
         with open(wal_path, "r+b") as handle:
             handle.truncate(size - 7)

@@ -41,7 +41,7 @@ pick a storage backend               ``Database(backend=...)`` —
                                      automatically by input size
 survive crashes / restart warm /     ``connect(path=...)`` — a durable
 replicate to read followers          session (CRC-checked WAL +
-                                     atomic checkpoints,
+                                     atomic incremental checkpoints,
                                      :mod:`repro.db.wal`);
                                      :meth:`Session.checkpoint`
                                      persists data *and* prepared
@@ -49,6 +49,24 @@ replicate to read followers          session (CRC-checked WAL +
                                      replication` ships
                                      ``delta_since`` batches to
                                      :class:`FollowerSession` replicas
+                                     (``connect(replica_of=feed)``;
+                                     ``catchup_path`` cold-starts a
+                                     follower from the leader's
+                                     rotated WAL segment files)
+operate the durable store            ``DurableDatabase.verify()`` —
+(scrub / verify / repair /           re-check every checkpoint file
+quarantine)                          and WAL segment against manifest
+                                     checksums;
+                                     ``DurableDatabase.repair(path)``
+                                     — quarantine damage and restore
+                                     the newest consistent state
+                                     (:mod:`repro.db.scrub`);
+                                     ``attach(path, degraded=True)``
+                                     — read-only salvage; damage
+                                     raises
+                                     :class:`CorruptSnapshotError` /
+                                     :class:`CorruptWalError`, never
+                                     silent wrong answers
 ===================================  =======================================
 
 Subpackages:
@@ -86,7 +104,11 @@ Quickstart (the engine; ``examples/quickstart.py`` for the full tour)::
 from repro.classify import QueryClassification, TaskVerdict, classify
 from repro.counting import count_answers
 from repro.db import (
+    CorruptionError,
+    CorruptSnapshotError,
+    CorruptWalError,
     Database,
+    DegradedDatabaseError,
     DurableDatabase,
     Relation,
     TruncatedHistoryError,
@@ -125,7 +147,11 @@ __all__ = [
     "Atom",
     "ConjunctiveQuery",
     "ConstantDelayEnumerator",
+    "CorruptSnapshotError",
+    "CorruptWalError",
+    "CorruptionError",
     "Database",
+    "DegradedDatabaseError",
     "DurableDatabase",
     "FollowerSession",
     "HierarchicalCountMaintainer",

@@ -18,13 +18,24 @@ selected via ``Database(backend=...)``.
 
 Durability lives one layer up: :func:`attach` opens (or recovers) a
 :class:`DurableDatabase` whose mutations are mirrored into a framed,
-CRC-checked write-ahead log (:mod:`repro.db.wal`) and periodically
-rolled into atomic snapshots (:mod:`repro.db.checkpoint`).
+CRC-checked write-ahead log (:mod:`repro.db.wal`, rotated into sealed,
+checksummed segments) and periodically rolled into atomic incremental
+snapshots (:mod:`repro.db.checkpoint`).  :mod:`repro.db.scrub` closes
+the loop against on-disk corruption: ``DurableDatabase.verify()``
+re-checks every artifact, ``DurableDatabase.repair()`` restores the
+newest provably-consistent state, and ``attach(path, degraded=True)``
+serves the intact remainder read-only when repair is impossible —
+damage surfaces as :class:`CorruptSnapshotError` /
+:class:`CorruptWalError`, never as silently wrong rows.
 """
 
 from repro.db.columnar import ColumnarRelation, Dictionary
 from repro.db.database import Database, DurableDatabase, attach
 from repro.db.interface import (
+    CorruptionError,
+    CorruptSnapshotError,
+    CorruptWalError,
+    DegradedDatabaseError,
     FrameAlgebra,
     StaleStructureError,
     TruncatedHistoryError,
@@ -35,15 +46,22 @@ from repro.db.interface import (
     stale_relations,
 )
 from repro.db.relation import Relation
+from repro.db.scrub import ScrubIssue, ScrubReport
 from repro.db.sharded import ShardedColumnarRelation
 
 __all__ = [
     "ColumnarRelation",
+    "CorruptSnapshotError",
+    "CorruptWalError",
+    "CorruptionError",
     "Database",
+    "DegradedDatabaseError",
     "Dictionary",
     "DurableDatabase",
     "FrameAlgebra",
     "Relation",
+    "ScrubIssue",
+    "ScrubReport",
     "ShardedColumnarRelation",
     "StaleStructureError",
     "TruncatedHistoryError",

@@ -137,6 +137,29 @@ class Dictionary:
         """The code of ``value``, or ``None`` if it was never encoded."""
         return self._code_of.get(value)
 
+    def extend_tail(self, values: Sequence[Value]) -> None:
+        """Bulk-append fresh ``values`` as codes ``len(self)..`` .
+
+        The fast path for re-seeding a dictionary from a checkpoint,
+        whose dictionary files store exactly the value suffix in code
+        order — one dict update instead of one :meth:`encode` call per
+        value.  Every value must be previously unseen: a duplicate
+        would silently fork the bijection (codes past it shift by
+        one), so it raises ``ValueError`` instead and leaves the
+        dictionary unchanged.
+        """
+        start = len(self._values)
+        code_of = self._code_of
+        code_of.update(zip(values, range(start, start + len(values))))
+        if len(code_of) != start + len(values):
+            # a duplicate collapsed the update: restore the map from
+            # the (untouched) value list and refuse
+            self._code_of = {v: c for c, v in enumerate(self._values)}
+            raise ValueError(
+                "extend_tail got an already-encoded or repeated value"
+            )
+        self._values.extend(values)
+
     def decode(self, code: int) -> Value:
         return self._values[code]
 

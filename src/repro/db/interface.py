@@ -207,6 +207,68 @@ class TruncatedHistoryError(StaleStructureError):
         self.barrier_stamp = barrier_stamp
 
 
+class CorruptionError(RuntimeError):
+    """On-disk durable state failed an integrity check.
+
+    The root of the storage-corruption taxonomy
+    (:mod:`repro.db.scrub`): every checkpoint file and sealed WAL
+    segment is checksummed in ``MANIFEST.json``, and recovery verifies
+    what it reads — so damage that is not a clean torn tail surfaces
+    as a typed error *before* any wrong row can be served.  Carries
+    the offending artifact path in ``artifact``.
+    """
+
+    def __init__(self, artifact: str, detail: str) -> None:
+        super().__init__(f"{artifact}: {detail}")
+        self.artifact = artifact
+        self.detail = detail
+
+
+class CorruptSnapshotError(CorruptionError):
+    """A checkpoint artifact (column, meta, dictionary, manifest) is
+    missing or fails its recorded size/CRC32 — recovery refuses to
+    build relations from it.  Repair options, in preference order:
+    :func:`repro.db.scrub.repair` (newest intact base+delta chain, an
+    older snapshot plus its WAL suffix, or a replica feed), else
+    ``attach(path, degraded=True)`` for read-only access to the
+    intact remainder."""
+
+
+class CorruptWalError(CorruptionError, TruncatedHistoryError):
+    """A WAL segment is damaged *mid-log*: valid records exist beyond
+    the corrupt region (or the segment fails its sealed whole-file
+    CRC), so truncating to the valid prefix would silently drop
+    acknowledged operations.  Distinct from a torn tail — trailing
+    damage with nothing valid after it — which recovery truncates
+    safely without ceremony.
+
+    Subclasses :class:`TruncatedHistoryError`: the log's history is
+    effectively truncated at the corruption point, and structure-level
+    handlers that rebuild on truncated history remain correct if one
+    ever escapes that far.  ``offset`` is the last trusted byte.
+    """
+
+    def __init__(self, artifact: str, offset: int, detail: str) -> None:
+        RuntimeError.__init__(
+            self,
+            f"{artifact}: corrupt WAL record after byte {offset}: "
+            f"{detail}",
+        )
+        self.artifact = artifact
+        self.detail = detail
+        self.offset = offset
+        self.relation = None
+        self.requested_stamp = None
+        self.barrier_stamp = None
+
+
+class DegradedDatabaseError(RuntimeError):
+    """A mutation reached a database opened in degraded (read-only)
+    mode — ``attach(path, degraded=True)`` serves the intact remainder
+    of a corrupt directory for inspection and evacuation, never for
+    writes (there is no WAL to make them durable)."""
+
+
 def snapshot_stamps(db, names: Iterable[str]) -> Dict[str, int]:
     """The current ``mutation_stamp`` of each named relation in ``db``."""
     return {name: db[name].mutation_stamp for name in names}

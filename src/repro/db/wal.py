@@ -65,7 +65,10 @@ __all__ = [
     "SYNC_POLICIES",
     "WalJournal",
     "WalWriter",
+    "iter_records",
     "read_records",
+    "scan_wal",
+    "seal_info",
 ]
 
 MAGIC = b"\xc4\x57"
@@ -167,6 +170,71 @@ class WalWriter:
         self.close()
 
 
+def _parse_frame(data: bytes, pos: int) -> Optional[Tuple[Any, int]]:
+    """Decode one frame at ``pos``; None if it is not fully valid."""
+    end = pos + _HEADER.size
+    if end > len(data):
+        return None
+    magic, record_type, length, crc = _HEADER.unpack(data[pos:end])
+    if magic != MAGIC or record_type not in _KNOWN_TYPES:
+        return None
+    payload = data[end : end + length]
+    if len(payload) < length:
+        return None
+    if zlib.crc32(bytes((record_type,)) + payload) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        obj = pickle.loads(payload)
+    except Exception:
+        return None
+    return (record_type, obj), end + length
+
+
+def scan_wal(
+    path: str,
+) -> Tuple[List[Tuple[int, Any]], int, Optional[str]]:
+    """Read a WAL and classify any damage after the valid prefix.
+
+    Returns ``(records, valid, damage)`` where ``records`` is every
+    record of the valid prefix, ``valid`` the prefix length in bytes,
+    and ``damage`` one of:
+
+    - ``None`` — the file parses end to end (or does not exist);
+    - ``"torn"`` — invalid bytes at the tail with *no* valid record
+      after them: the classic crash-mid-append, safe to truncate;
+    - ``"corrupt"`` — a valid record exists *beyond* the first
+      invalid region (mid-log bit rot / zero-fill): truncating would
+      silently drop acknowledged operations, so recovery must treat
+      the file as corrupt, not merely torn.
+
+    The classifier rescans from each later ``MAGIC`` occurrence and
+    demands a fully-valid frame (header, CRC, unpickle) before
+    calling the damage mid-log — a stray two-byte magic inside torn
+    garbage cannot trigger a false "corrupt" verdict.
+    """
+    records: List[Tuple[int, Any]] = []
+    if not os.path.exists(path):
+        return records, 0, None
+    with open(path, "rb") as handle:
+        data = handle.read()
+    pos = 0
+    while True:
+        parsed = _parse_frame(data, pos)
+        if parsed is None:
+            break
+        record, pos = parsed
+        records.append(record)
+    if pos == len(data):
+        return records, pos, None
+    # Invalid bytes follow the prefix: torn tail, or mid-log damage?
+    search = data.find(MAGIC, pos + 1)
+    while search != -1:
+        if _parse_frame(data, search) is not None:
+            return records, pos, "corrupt"
+        search = data.find(MAGIC, search + 1)
+    return records, pos, "torn"
+
+
 def read_records(path: str) -> Tuple[List[Tuple[int, Any]], int]:
     """All valid records of a WAL file, plus the valid-prefix length.
 
@@ -174,32 +242,66 @@ def read_records(path: str) -> Tuple[List[Tuple[int, Any]], int]:
     header, bad magic, short payload, CRC mismatch, unpicklable
     payload) and reports the byte offset of the end of the last good
     record — the writer truncates the file there before resuming.
-    A missing file reads as an empty log.
+    A missing file reads as an empty log.  Callers that must
+    distinguish a safe torn tail from mid-log corruption use
+    :func:`scan_wal` instead.
     """
-    records: List[Tuple[int, Any]] = []
+    records, valid, _ = scan_wal(path)
+    return records, valid
+
+
+def iter_records(path: str, limit: Optional[int] = None):
+    """Yield valid records one at a time without loading the payloads'
+    decoded forms all at once — the bounded-memory read used by WAL
+    file catch-up (:class:`repro.engine.replication.FollowerSession`),
+    where the backlog may be far larger than a follower wants resident.
+    Stops quietly at the first invalid record (the valid prefix), or
+    after ``limit`` bytes of valid records when given.
+    """
     if not os.path.exists(path):
-        return records, 0
-    valid = 0
+        return
     with open(path, "rb") as handle:
+        pos = 0
         while True:
             header = handle.read(_HEADER.size)
             if len(header) < _HEADER.size:
-                break
+                return
             magic, record_type, length, crc = _HEADER.unpack(header)
             if magic != MAGIC or record_type not in _KNOWN_TYPES:
-                break
+                return
             payload = handle.read(length)
             if len(payload) < length:
-                break
-            if zlib.crc32(bytes((record_type,)) + payload) & 0xFFFFFFFF != crc:
-                break
+                return
+            if (
+                zlib.crc32(bytes((record_type,)) + payload) & 0xFFFFFFFF
+                != crc
+            ):
+                return
             try:
                 obj = pickle.loads(payload)
             except Exception:
+                return
+            pos += _HEADER.size + length
+            yield record_type, obj
+            if limit is not None and pos >= limit:
+                return
+
+
+def seal_info(path: str) -> dict:
+    """The whole-file integrity stamp recorded when a WAL segment is
+    sealed at rotation: matching size+CRC32 later proves the segment
+    still holds exactly the records it was sealed with, without
+    re-parsing frames."""
+    crc = 0
+    size = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
                 break
-            records.append((record_type, obj))
-            valid += _HEADER.size + length
-    return records, valid
+            crc = zlib.crc32(chunk, crc)
+            size += len(chunk)
+    return {"size": size, "crc32": crc & 0xFFFFFFFF}
 
 
 class WalJournal:
@@ -220,6 +322,14 @@ class WalJournal:
         self.writer = writer
         self.dictionary = dictionary
         self._dict_len = len(dictionary) if dictionary is not None else 0
+        #: Called (with no args) after every appended record — the
+        #: database hangs its size-triggered WAL rotation here, so the
+        #: rotation decision sits *between* records, never inside one.
+        self.on_record = None
+
+    def _noted(self) -> None:
+        if self.on_record is not None:
+            self.on_record()
 
     def _sync_dictionary(self) -> None:
         if self.dictionary is None:
@@ -237,21 +347,26 @@ class WalJournal:
         registrations replay with exact stamps)."""
         self._sync_dictionary()
         self.writer.append(REC_CREATE, (name, arity, spec))
+        self._noted()
 
     def record_op(self, name: str, coded, is_insert: bool) -> None:
         self._sync_dictionary()
         self.writer.append(REC_OP, (name, tuple(coded), bool(is_insert)))
+        self._noted()
 
     def record_batch(self, name: str, codes) -> None:
         self._sync_dictionary()
         self.writer.append(REC_BATCH, (name, self._pack_rows(codes)))
+        self._noted()
 
     def record_remove(self, name: str, codes) -> None:
         self._sync_dictionary()
         self.writer.append(REC_REMOVE, (name, self._pack_rows(codes)))
+        self._noted()
 
     def record_compact(self, name: str) -> None:
         self.writer.append(REC_COMPACT, name)
+        self._noted()
 
     @staticmethod
     def _pack_rows(rows) -> Any:

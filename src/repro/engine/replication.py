@@ -47,6 +47,9 @@ from repro.db.interface import TruncatedHistoryError
 from repro.engine.session import Session
 
 __all__ = [
+    "DEFAULT_BACKOFF",
+    "DEFAULT_RETRIES",
+    "DEFAULT_SMALL_DELTA",
     "FollowerSession",
     "LeaderFeed",
     "ReplicationError",
@@ -56,8 +59,19 @@ __all__ = [
 #: At or below this many changed rows a pull applies per-op
 #: (``apply_coded``), preserving per-tuple history on the follower so
 #: *its* prepared structures maintain incrementally; above it, bulk
-#: batches are cheaper and the structures rebuild once.
-SMALL_DELTA = 64
+#: batches are cheaper and the structures rebuild once.  Overridable
+#: per follower via ``small_delta=`` (and through
+#: ``connect(replica_of=..., small_delta=...)``).
+DEFAULT_SMALL_DELTA = 64
+SMALL_DELTA = DEFAULT_SMALL_DELTA  # backwards-compatible alias
+
+#: Default transport retry budget: attempts per call, and the first
+#: retry's sleep (doubling each attempt).  Overridable per follower
+#: via ``retries=`` / ``backoff=`` / ``timeout=`` — also exposed as
+#: ``connect()`` kwargs, so sessions configure their replicas without
+#: reaching into this module.
+DEFAULT_RETRIES = 5
+DEFAULT_BACKOFF = 0.01
 
 
 class ReplicationError(RuntimeError):
@@ -169,8 +183,25 @@ class FollowerSession:
     same ``handshake``/``pull`` surface).  ``retries`` bounds the
     attempts per transport call; ``backoff`` is the first retry's
     sleep, doubling each attempt; ``timeout`` (seconds, optional)
-    caps the *total* time a call may spend retrying.  ``sleep`` and
-    ``clock`` exist for deterministic tests.
+    caps the *total* time a call may spend retrying.  ``small_delta``
+    is the per-op/bulk application threshold (default
+    :data:`DEFAULT_SMALL_DELTA`).  ``sleep`` and ``clock`` exist for
+    deterministic tests.  All of these are also reachable as
+    ``connect()`` kwargs — followers are configured per session, not
+    by editing module constants.
+
+    **WAL-file catch-up**: with ``catchup_path`` naming the leader's
+    durable directory (or a copy of it — any filesystem view works),
+    the follower bootstraps *without* a handshake: it composes the
+    leader's newest checkpoint chain, then streams the current
+    epoch's sealed WAL segments and active WAL in bounded-memory
+    batches of ``catchup_batch`` records.  Because WAL replay
+    reproduces ``mutation_stamp`` sequences exactly, the follower
+    lands on a stamp-exact boundary and the first :meth:`sync`
+    against the live ``feed`` pulls precisely the ops that arrived
+    after the files were read — no reseed, no overlap.  For a large
+    backlog this is far faster than a live handshake (bulk
+    ``np.load`` + coded batches instead of per-tuple seeding).
 
     The replica is complete: ``session`` (also reachable through
     :meth:`prepare` / :meth:`execute`) serves prepared queries over
@@ -181,42 +212,131 @@ class FollowerSession:
 
     def __init__(
         self,
-        feed,
-        retries: int = 5,
-        backoff: float = 0.01,
+        feed=None,
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
         timeout: Optional[float] = None,
         sleep: Callable[[float], None] = None,
         clock: Callable[[], float] = None,
         columnar_cutoff: Optional[int] = None,
+        small_delta: Optional[int] = None,
+        catchup_path: Optional[str] = None,
+        catchup_batch: int = 4096,
     ) -> None:
         import time
 
+        if feed is None and catchup_path is None:
+            raise ValueError(
+                "FollowerSession needs a feed, a catchup_path, or both"
+            )
         self._feed = feed
         self.retries = max(1, int(retries))
         self.backoff = backoff
         self.timeout = timeout
+        self.small_delta = (
+            DEFAULT_SMALL_DELTA if small_delta is None else small_delta
+        )
         self._sleep = sleep if sleep is not None else time.sleep
         self._clock = clock if clock is not None else time.monotonic
-        seed = self._call("handshake", feed.handshake)
-        self.db = Database(
-            backend=seed["backend"], shard_count=seed["shard_count"]
-        )
         self._dict_len = 0
         self._leader_stamps: Dict[str, int] = {}
-        self._grow_dictionary(seed["dict_values"], seed["dict_len"])
         kwargs = (
             {} if columnar_cutoff is None
             else {"columnar_cutoff": columnar_cutoff}
         )
+        if catchup_path is not None:
+            self._bootstrap_from_files(catchup_path, catchup_batch)
+            self.session = Session(self.db, **kwargs)
+            return
+        seed = self._call("handshake", feed.handshake)
+        self.db = Database(
+            backend=seed["backend"], shard_count=seed["shard_count"]
+        )
+        self._grow_dictionary(seed["dict_values"], seed["dict_len"])
         self.session = Session(self.db, **kwargs)
         for entry in seed["relations"]:
             self._apply_entry(entry)
+
+    # ------------------------------------------------------------------
+    # cold catch-up from the leader's WAL files
+    # ------------------------------------------------------------------
+    def _bootstrap_from_files(self, root: str, batch: int) -> None:
+        import os
+
+        from repro.db import checkpoint as ckpt
+        from repro.db.database import replay_records
+        from repro.db.wal import iter_records
+
+        manifest = ckpt.read_manifest(root)
+        if manifest is None:
+            raise ReplicationError(
+                f"no durable manifest under {root!r} to catch up from"
+            )
+        self.db = Database(
+            backend=manifest["backend"],
+            shard_count=manifest["shard_count"],
+        )
+        verifier = ckpt.Verifier(root, manifest.get("files") or {})
+        index = manifest["checkpoint"]
+        if index is not None:
+            meta = ckpt.read_meta(root, index, verifier)
+            ckpt.seed_dictionary(
+                self.db._dictionary, root, meta, verifier
+            )
+            for entry in meta["relations"]:
+                rel = ckpt.load_relation(
+                    root, entry, self.db._dictionary, verifier
+                )
+                self.db._relations[rel.name] = rel
+        # Stream this epoch's sealed segments, then the active WAL, in
+        # bounded batches — the backlog never sits in memory at once.
+        # A torn or damaged tail ends the file replay quietly: the
+        # live feed covers everything after the stamp we stop at.
+        epoch = index or 0
+        names = [
+            seg["name"]
+            for seg in sorted(
+                (
+                    s
+                    for s in manifest.get("segments") or []
+                    if s["epoch"] == epoch
+                ),
+                key=lambda s: s["seq"],
+            )
+        ]
+        names.append(manifest["wal"])
+        pending = []
+        for name in names:
+            for record in iter_records(os.path.join(root, name)):
+                pending.append(record)
+                if len(pending) >= batch:
+                    replay_records(
+                        self.db._relations, self.db._dictionary, pending
+                    )
+                    pending = []
+        if pending:
+            replay_records(
+                self.db._relations, self.db._dictionary, pending
+            )
+        # The stamp-exact handoff: file replay reproduced the leader's
+        # mutation_stamp sequences, so the next sync() pulls exact
+        # deltas from here — never a reseed.
+        dictionary = self.db._dictionary
+        self._dict_len = len(dictionary) if dictionary is not None else 0
+        self._leader_stamps = {
+            rel.name: rel.mutation_stamp for rel in self.db
+        }
 
     # ------------------------------------------------------------------
     # the replication loop
     # ------------------------------------------------------------------
     def sync(self) -> Dict[str, int]:
         """One replication round; returns ``{applied, reseeded}``."""
+        if self._feed is None:
+            raise ReplicationError(
+                "this follower was bootstrapped from WAL files only; "
+                "give it a feed to sync against a live leader"
+            )
         payload = self._call(
             "pull",
             self._feed.pull,
@@ -289,7 +409,7 @@ class FollowerSession:
         del_rows = _rows_of(deleted)
         ins_rows = _rows_of(inserted)
         coded = isinstance(rel, ColumnarRelation)
-        if len(del_rows) + len(ins_rows) <= SMALL_DELTA:
+        if len(del_rows) + len(ins_rows) <= self.small_delta:
             for row in del_rows:
                 if coded:
                     rel.apply_coded(row, False)

@@ -327,7 +327,16 @@ def connect(
     path: Optional[str] = None,
     shard_count: Optional[int] = None,
     sync: str = "batch",
-) -> Session:
+    wal_retain: Optional[int] = None,
+    wal_segment_bytes: Optional[int] = None,
+    chain_depth: Optional[int] = None,
+    degraded: bool = False,
+    replica_of=None,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    timeout: Optional[float] = None,
+    small_delta: Optional[int] = None,
+):
     """Open a :class:`Session` (the engine's ``connect(...)`` idiom).
 
     With ``path=...`` the session is *durable*: the directory is
@@ -342,7 +351,47 @@ def connect(
     fresh directory only (the stored backend wins on recovery);
     ``sync`` picks the WAL fsync policy (``"always"``/``"batch"``/
     ``"never"``).  ``db`` and ``path`` are mutually exclusive.
+
+    Durable robustness knobs (forwarded to :func:`repro.db.attach`,
+    documented on :class:`~repro.db.database.DurableDatabase`):
+    ``wal_retain`` (sealed WAL segments kept for follower catch-up
+    and repair), ``wal_segment_bytes`` (size-triggered WAL rotation),
+    ``chain_depth`` (incremental-checkpoint fold depth), and
+    ``degraded`` (read-only salvage open).
+
+    With ``replica_of=feed`` the call returns a
+    :class:`~repro.engine.replication.FollowerSession` replicating
+    from that :class:`~repro.engine.replication.LeaderFeed` (or any
+    transport wrapper).  The follower's retry budget is configured
+    here — ``retries`` (attempts per transport call), ``backoff``
+    (first retry sleep, doubling), ``timeout`` (total seconds per
+    call) — along with ``small_delta`` (per-op vs. bulk application
+    threshold).  Combining ``replica_of`` with ``path=...`` uses the
+    path as the *catch-up* source: the follower cold-bootstraps from
+    the leader's checkpoint chain and rotated WAL segment files, then
+    hands off to the live feed at a stamp-exact boundary.
     """
+    if replica_of is not None:
+        if db is not None:
+            raise TypeError(
+                "connect() takes either an in-memory db or replica_of, "
+                "not both"
+            )
+        from repro.engine.replication import (
+            DEFAULT_BACKOFF,
+            DEFAULT_RETRIES,
+            FollowerSession,
+        )
+
+        return FollowerSession(
+            replica_of,
+            retries=DEFAULT_RETRIES if retries is None else retries,
+            backoff=DEFAULT_BACKOFF if backoff is None else backoff,
+            timeout=timeout,
+            columnar_cutoff=columnar_cutoff,
+            small_delta=small_delta,
+            catchup_path=path,
+        )
     if path is not None:
         if db is not None:
             raise TypeError(
@@ -350,7 +399,14 @@ def connect(
                 "path, not both"
             )
         durable = attach(
-            path, backend=backend, shard_count=shard_count, sync=sync
+            path,
+            backend=backend,
+            shard_count=shard_count,
+            sync=sync,
+            wal_retain=wal_retain,
+            wal_segment_bytes=wal_segment_bytes,
+            chain_depth=chain_depth,
+            degraded=degraded,
         )
         session = Session(durable, columnar_cutoff=columnar_cutoff)
         session._restore_prepared_specs()

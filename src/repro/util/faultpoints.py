@@ -20,12 +20,15 @@ cheap enough to leave in production code paths.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from typing import Dict, Iterator, Tuple
 
 __all__ = [
+    "CORRUPTION_MODES",
     "InjectedCrash",
     "arm",
+    "corrupt_file",
     "crashing",
     "declare",
     "disarm",
@@ -133,3 +136,65 @@ def crashing(point: str, at: int = 1) -> Iterator[None]:
         yield
     finally:
         disarm(point)
+
+
+# ----------------------------------------------------------------------
+# on-disk corruption injection
+# ----------------------------------------------------------------------
+# Crash points model *interrupted* writes; these model *damaged* bytes —
+# the other half of the failure model (disk rot, partial sector writes,
+# an overeager editor).  The scrub suite corrupts each durable artifact
+# in each mode and proves the detect-or-repair property: recovery
+# either restores a correct consistent prefix or raises a typed
+# corruption error, never silently serves wrong rows.
+
+CORRUPTION_MODES = ("bitflip", "truncate", "zerofill")
+
+
+def corrupt_file(
+    path: str,
+    mode: str,
+    offset: int = None,
+    length: int = 8,
+) -> dict:
+    """Deterministically damage one on-disk artifact in-place.
+
+    ``mode``:
+
+    - ``"bitflip"``  — XOR one bit at ``offset`` (silent rot)
+    - ``"truncate"`` — cut the file to ``offset`` bytes (lost tail)
+    - ``"zerofill"`` — overwrite ``length`` bytes at ``offset`` with
+      zeros (a partially-written sector)
+
+    ``offset`` defaults to the middle of the file so the damage lands
+    inside real content, not in slack space.  Nothing here is random:
+    the same call on the same file inflicts the same damage, so
+    failing corruption tests replay exactly.  Returns a description
+    of what was done (for test diagnostics).
+    """
+    if mode not in CORRUPTION_MODES:
+        raise ValueError(
+            f"unknown corruption mode {mode!r}; expected one of "
+            f"{CORRUPTION_MODES}"
+        )
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError(f"cannot corrupt empty file {path!r}")
+    if offset is None:
+        offset = size // 2
+    offset = max(0, min(offset, size - 1))
+    with open(path, "r+b") as handle:
+        if mode == "bitflip":
+            handle.seek(offset)
+            byte = handle.read(1)[0]
+            handle.seek(offset)
+            handle.write(bytes((byte ^ 0x40,)))
+            span = 1
+        elif mode == "truncate":
+            handle.truncate(offset)
+            span = size - offset
+        else:  # zerofill
+            span = min(length, size - offset)
+            handle.seek(offset)
+            handle.write(b"\x00" * span)
+    return {"mode": mode, "offset": offset, "length": span, "size": size}

@@ -34,6 +34,7 @@ def run_example(name: str) -> None:
         "weighted_aggregation",
         "sharded_ingestion",
         "durable_session",
+        "replica_catchup",
     ],
 )
 def test_example_runs(name, capsys):

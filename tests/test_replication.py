@@ -17,6 +17,8 @@ into a leader/follower protocol.  Pinned here:
   reseed converges by diffing rather than reloading.
 """
 
+import os
+
 import pytest
 
 from repro.engine import connect
@@ -198,3 +200,110 @@ def test_durable_leader_feeds_a_follower(tmp_path):
     follower.sync()
     assert state(follower.db) == state(recovered.db)
     recovered.db.close()
+
+
+# ----------------------------------------------------------------------
+# WAL-file cold catch-up (PR 7)
+# ----------------------------------------------------------------------
+def test_catchup_from_wal_files_lands_stamp_exact(tmp_path):
+    """A follower bootstrapped from the leader's durable files holds
+    bit-identical content *and* stamps, so the first live sync pulls
+    an exact delta — never a reseed."""
+    path = str(tmp_path / "leader")
+    leader = connect(path=path, backend="columnar", sync="always")
+    for i in range(40):
+        leader.add("R", (i, i + 1))
+    leader.db.checkpoint()
+    for i in range(40, 60):
+        leader.add("R", (i, i + 1))
+    leader.db.rotate_wal()  # a sealed current-epoch segment
+    for i in range(60, 70):
+        leader.add("R", (i, i + 1))
+    leader.db.flush()
+
+    follower = FollowerSession(
+        LeaderFeed(leader), catchup_path=path, catchup_batch=16
+    )
+    assert state(follower.db) == state(leader.db)
+    assert follower._leader_stamps == {
+        rel.name: rel.mutation_stamp for rel in leader.db
+    }
+    # the handoff: one post-bootstrap op arrives as a plain delta
+    leader.add("R", (999, 999))
+    assert follower.sync() == {"applied": 1, "reseeded": 0}
+    assert state(follower.db) == state(leader.db)
+    leader.db.close()
+
+
+def test_catchup_without_feed_is_file_only(tmp_path):
+    path = str(tmp_path / "leader")
+    leader = connect(path=path, backend="columnar", sync="always")
+    leader.add("R", (1, 2))
+    leader.db.flush()
+    follower = FollowerSession(catchup_path=path)
+    assert state(follower.db) == state(leader.db)
+    with pytest.raises(ReplicationError):
+        follower.sync()  # no live feed to hand off to
+    leader.db.close()
+
+
+def test_catchup_needs_a_source():
+    with pytest.raises(ValueError):
+        FollowerSession()
+
+
+def test_catchup_requires_a_durable_directory(tmp_path):
+    with pytest.raises(ReplicationError):
+        FollowerSession(catchup_path=str(tmp_path / "nothing-here"))
+
+
+def test_connect_builds_a_catchup_follower(tmp_path):
+    """``connect(path=..., replica_of=feed)`` wires the path through
+    as the catch-up source and the retry knobs onto the follower."""
+    path = str(tmp_path / "leader")
+    leader = connect(path=path, backend="columnar", sync="always")
+    for i in range(10):
+        leader.add("R", (i, i))
+    leader.db.flush()
+
+    flaky = FlakyFeed(LeaderFeed(leader), failures=2)
+    follower = connect(
+        path=path,
+        replica_of=flaky,
+        retries=4,
+        backoff=0.0,
+        small_delta=1,
+    )
+    assert isinstance(follower, FollowerSession)
+    assert follower.retries == 4
+    assert follower.small_delta == 1
+    # bootstrap came from files: the flaky transport was never called
+    assert flaky.calls == 0
+    assert state(follower.db) == state(leader.db)
+    leader.add("R", (77, 77))
+    follower._sleep = lambda s: None
+    assert follower.sync() == {"applied": 1, "reseeded": 0}
+    assert state(follower.db) == state(leader.db)
+    leader.db.close()
+
+
+def test_catchup_ignores_a_torn_wal_tail(tmp_path):
+    """File catch-up stops at the valid prefix; the live feed covers
+    the rest — including whatever the torn record held."""
+    path = str(tmp_path / "leader")
+    leader = connect(path=path, backend="columnar", sync="always")
+    for i in range(20):
+        leader.add("R", (i, i))
+    leader.db.flush()
+    # a half-flushed record at the tail of the leader's active WAL,
+    # as a copying follower might observe mid-append
+    wal = os.path.join(path, "wal-0.log")
+    with open(wal, "ab") as handle:
+        handle.write(b"\xc4\x57\x03garbage")
+
+    follower = FollowerSession(LeaderFeed(leader), catchup_path=path)
+    # a (possibly empty) delta per relation — but never a reseed
+    summary = follower.sync()
+    assert summary == {"applied": 1, "reseeded": 0}
+    assert state(follower.db) == state(leader.db)
+    leader.db.close()
