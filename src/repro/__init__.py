@@ -39,6 +39,24 @@ pick a storage backend               ``Database(backend=...)`` —
                                      aggregation at out-of-core scale);
                                      the engine planner picks one
                                      automatically by input size
+run shards in parallel               ``connect(workers=N)`` (or the
+                                     ``REPRO_WORKERS`` environment
+                                     variable) — per-shard scans,
+                                     joins, and FAQ messages fan out
+                                     over a thread pool
+                                     (:mod:`repro.db.executor`) and
+                                     merge in shard order, so answers
+                                     stay bit-identical to serial;
+                                     ``explain()`` reports the
+                                     executor choice
+serve a database larger than RAM     ``connect(spill_dir=...,
+                                     max_resident_shards=K)`` — an
+                                     LRU :class:`repro.db.spill.
+                                     SpillPool` keeps only hot
+                                     shards' code matrices resident;
+                                     cold shards live on disk as
+                                     ``np.memmap`` files and fault
+                                     back in on touch
 survive crashes / restart warm /     ``connect(path=...)`` — a durable
 replicate to read followers          session (CRC-checked WAL +
                                      atomic incremental checkpoints,

@@ -51,6 +51,7 @@ the mutation/consistency contract in :mod:`repro.db.interface`.
 
 from __future__ import annotations
 
+import threading
 from typing import (
     Dict,
     FrozenSet,
@@ -89,8 +90,11 @@ DELTA_COMPACT_FRACTION = 0.25
 # since the last reset.  The vectorized pipelines (counting, FAQ
 # aggregation, direct access, enumeration preprocessing) promise *zero*
 # per-row decodes on columnar inputs; tests assert that promise through
-# this hook rather than by auditing call sites.
+# this hook rather than by auditing call sites.  The bump is lock-guarded:
+# per-shard work runs on pool threads (repro.db.executor) and an unguarded
+# read-modify-write would drop counts under contention.
 _DECODED_ROWS = 0
+_DECODED_LOCK = threading.Lock()
 
 
 def decoded_row_count() -> int:
@@ -100,7 +104,8 @@ def decoded_row_count() -> int:
 
 def reset_decoded_row_count() -> None:
     global _DECODED_ROWS
-    _DECODED_ROWS = 0
+    with _DECODED_LOCK:
+        _DECODED_ROWS = 0
 
 
 class Dictionary:
@@ -193,7 +198,8 @@ class Dictionary:
     def decode_rows(self, codes: np.ndarray) -> List[Row]:
         """Decode a code matrix back into a list of value tuples."""
         global _DECODED_ROWS
-        _DECODED_ROWS += len(codes)
+        with _DECODED_LOCK:
+            _DECODED_ROWS += len(codes)
         values = self._values
         return [tuple(values[c] for c in row) for row in codes.tolist()]
 
@@ -481,6 +487,11 @@ class ColumnarRelation:
         # check per mutation; non-None mirrors every op and barrier
         # into the write-ahead log.
         self._journal = None
+        # Residency hook (repro.db.spill.SpillPool).  None costs one
+        # attribute check per read/barrier; non-None lets the pool
+        # swap the main segment between RAM and an np.memmap-backed
+        # file, keeping only the LRU-hot shards resident.
+        self._spill = None
         if rows is not None:
             self.add_all(rows)
 
@@ -537,6 +548,8 @@ class ColumnarRelation:
         self._base_stamp = self._stamp
         self._main_set = None
         self._merged = codes
+        if self._spill is not None:
+            self._spill.adopted(self)
 
     def _log_op(self, coded: Tuple[int, ...], is_insert: bool) -> None:
         self._stamp += 1
@@ -624,6 +637,8 @@ class ColumnarRelation:
 
     def codes(self) -> np.ndarray:
         """The deduplicated ``(n, arity)`` int64 code matrix (merged view)."""
+        if self._spill is not None:
+            self._spill.touch(self)
         if self._merged is None:
             self._merged = self._merge()
         return self._merged
@@ -956,4 +971,6 @@ class ColumnarRelation:
         self._invalidate()
         self._main = codes
         self._main_set = None
+        if self._spill is not None:
+            self._spill.adopted(self)
         self._merged = codes

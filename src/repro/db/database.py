@@ -19,6 +19,7 @@ import os
 from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.db.columnar import ColumnarRelation, Dictionary
+from repro.db.executor import executor_for
 from repro.db.interface import (
     BACKENDS,
     CorruptSnapshotError,
@@ -51,12 +52,29 @@ class Database:
         relations: Optional[Iterable[Relation]] = None,
         backend: str = "python",
         shard_count: Optional[int] = None,
+        workers: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        max_resident_shards: Optional[int] = None,
     ) -> None:
         self.backend = check_backend(backend)
         self._dictionary: Optional[Dictionary] = (
             Dictionary() if backend in ("columnar", "sharded") else None
         )
         self.shard_count = shard_count
+        # Per-shard execution / residency knobs (sharded backend only):
+        # workers sizes the ShardExecutor every created relation (and
+        # frame derived from it) dispatches through; spill_dir /
+        # max_resident_shards configure an LRU SpillPool that keeps
+        # only the hot shards' main segments in RAM (out-of-core).
+        self.workers = workers
+        self.executor = (
+            executor_for(workers) if workers is not None else None
+        )
+        self.spill = None
+        if spill_dir is not None or max_resident_shards is not None:
+            from repro.db.spill import SpillPool
+
+            self.spill = SpillPool(spill_dir, max_resident_shards)
         self._relations: Dict[str, Relation] = {}
         if relations is not None:
             for rel in relations:
@@ -80,6 +98,8 @@ class Database:
                 rows,
                 dictionary=self._dictionary,
                 shard_count=self.shard_count,
+                executor=self.executor,
+                spill=self.spill,
             )
         if self.backend == "columnar":
             return ColumnarRelation(
@@ -87,12 +107,48 @@ class Database:
             )
         return Relation(name, arity, rows)
 
+    def configure_shard_runtime(
+        self,
+        workers: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        max_resident_shards: Optional[int] = None,
+    ) -> None:
+        """Set the shard executor / spill pool after construction.
+
+        ``workers`` replaces the database executor and rewires every
+        existing sharded relation to it; the spill knobs create an LRU
+        :class:`~repro.db.spill.SpillPool` (once — a database keeps
+        its first pool) and register existing sharded relations with
+        it.  ``None`` arguments leave the corresponding setting alone.
+        """
+        if workers is not None:
+            self.workers = workers
+            self.executor = executor_for(workers)
+            for rel in self._relations.values():
+                if isinstance(rel, ShardedColumnarRelation):
+                    rel.executor = self.executor
+        if (
+            spill_dir is not None or max_resident_shards is not None
+        ) and self.spill is None:
+            from repro.db.spill import SpillPool
+
+            self.spill = SpillPool(spill_dir, max_resident_shards)
+            for rel in self._relations.values():
+                if (
+                    isinstance(rel, ShardedColumnarRelation)
+                    and rel.spill is None
+                ):
+                    rel.attach_spill(self.spill)
+
     @classmethod
     def from_dict(
         cls,
         data: Mapping[str, Iterable[Sequence[Value]]],
         backend: str = "python",
         shard_count: Optional[int] = None,
+        workers: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        max_resident_shards: Optional[int] = None,
     ) -> "Database":
         """Build a database from ``{name: iterable of tuples}``.
 
@@ -100,7 +156,13 @@ class Database:
         iterables are rejected here because their arity is ambiguous
         (use :meth:`add_relation` with an explicit arity instead).
         """
-        db = cls(backend=backend, shard_count=shard_count)
+        db = cls(
+            backend=backend,
+            shard_count=shard_count,
+            workers=workers,
+            spill_dir=spill_dir,
+            max_resident_shards=max_resident_shards,
+        )
         for name, rows in data.items():
             rows = [tuple(r) for r in rows]
             if not rows:
@@ -156,7 +218,12 @@ class Database:
             shard_count = self.shard_count or preferred_shard_count(
                 self.size()
             )
-        out = Database(backend=backend, shard_count=shard_count)
+        # Worker configuration carries over (it is backend-agnostic);
+        # a spill pool does not — it manages the residency of exactly
+        # the shards registered with it.
+        out = Database(
+            backend=backend, shard_count=shard_count, workers=self.workers
+        )
         for rel in self._relations.values():
             out.add_relation(out.new_relation(rel.name, rel.arity, rel))
         return out
@@ -200,7 +267,11 @@ class Database:
         in place, so algorithm entry points copy their input first to
         keep the public API side-effect free.
         """
-        out = Database(backend=self.backend, shard_count=self.shard_count)
+        out = Database(
+            backend=self.backend,
+            shard_count=self.shard_count,
+            workers=self.workers,
+        )
         # Copied columnar relations keep their (append-only) dictionary;
         # the copy must create new relations against that same one to
         # preserve the shared-dictionary invariant.
@@ -356,6 +427,9 @@ class DurableDatabase(Database):
         wal_segment_bytes: Optional[int] = None,
         chain_depth: Optional[int] = None,
         degraded: bool = False,
+        workers: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        max_resident_shards: Optional[int] = None,
     ) -> None:
         from repro.db import checkpoint as ckpt
         from repro.db.wal import WalJournal, WalWriter
@@ -376,7 +450,13 @@ class DurableDatabase(Database):
                 raise CorruptSnapshotError(
                     ckpt.MANIFEST, "nothing to open degraded: no manifest"
                 )
-            super().__init__(backend=backend, shard_count=shard_count)
+            super().__init__(
+                backend=backend,
+                shard_count=shard_count,
+                workers=workers,
+                spill_dir=spill_dir,
+                max_resident_shards=max_resident_shards,
+            )
             self._ckpt_index: Optional[int] = None
             self._ckpt_meta: Optional[Dict[str, Any]] = None
             self._segments: list = []
@@ -390,6 +470,9 @@ class DurableDatabase(Database):
             super().__init__(
                 backend=manifest["backend"],
                 shard_count=manifest["shard_count"],
+                workers=workers,
+                spill_dir=spill_dir,
+                max_resident_shards=max_resident_shards,
             )
             self._ckpt_index = manifest["checkpoint"]
             self._ckpt_meta = None
@@ -408,6 +491,7 @@ class DurableDatabase(Database):
                 self._journal = _DegradedJournal()
                 for rel in self._relations.values():
                     rel._journal = self._journal
+                self._attach_shard_runtime()
                 return
             if self._ckpt_index is not None:
                 meta = ckpt.read_meta(
@@ -432,7 +516,22 @@ class DurableDatabase(Database):
             self._journal.on_record = self._maybe_rotate
         for rel in self._relations.values():
             rel._journal = self._journal
+        self._attach_shard_runtime()
         self._collect_garbage()
+
+    def _attach_shard_runtime(self) -> None:
+        """Wire the executor / spill pool into recovered relations.
+
+        Checkpoint loading and WAL replay construct relations outside
+        :meth:`new_relation`, so relations recovered from disk would
+        otherwise miss the database-level worker pool and spill knobs.
+        """
+        for rel in self._relations.values():
+            if isinstance(rel, ShardedColumnarRelation):
+                if self.executor is not None:
+                    rel.executor = self.executor
+                if self.spill is not None and rel.spill is None:
+                    rel.attach_spill(self.spill)
 
     # ------------------------------------------------------------------
     # recovery: WAL replay (sealed segments of this epoch + active)
@@ -933,6 +1032,9 @@ def attach(
     wal_segment_bytes: Optional[int] = None,
     chain_depth: Optional[int] = None,
     degraded: bool = False,
+    workers: Optional[int] = None,
+    spill_dir: Optional[str] = None,
+    max_resident_shards: Optional[int] = None,
 ) -> DurableDatabase:
     """Open (creating or recovering) a durable database directory.
 
@@ -941,7 +1043,10 @@ def attach(
     is recovered from its committed checkpoint chain plus WAL suffix
     (the stored backend wins over the argument).  ``wal_retain`` /
     ``wal_segment_bytes`` / ``chain_depth`` / ``degraded`` are the
-    robustness knobs documented on :class:`DurableDatabase`.
+    robustness knobs documented on :class:`DurableDatabase`;
+    ``workers`` / ``spill_dir`` / ``max_resident_shards`` are the
+    runtime execution knobs documented on :class:`Database` (they are
+    per-open, not persisted).
     """
     return DurableDatabase(
         path,
@@ -952,4 +1057,7 @@ def attach(
         wal_segment_bytes=wal_segment_bytes,
         chain_depth=chain_depth,
         degraded=degraded,
+        workers=workers,
+        spill_dir=spill_dir,
+        max_resident_shards=max_resident_shards,
     )

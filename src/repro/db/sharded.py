@@ -55,6 +55,7 @@ way :func:`repro.db.columnar.decoded_row_count` asserts zero decodes.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -65,6 +66,7 @@ from repro.db.columnar import (
     Dictionary,
     Value,
 )
+from repro.db.executor import SERIAL, ShardExecutor, get_default_executor
 from repro.db.interface import TruncatedHistoryError
 
 # Default number of shards for relations created without an explicit
@@ -89,8 +91,12 @@ _MASK = (1 << 64) - 1
 # ----------------------------------------------------------------------
 # Peak row count of any multi-shard coalesce (global materialization)
 # since the last reset.  The shard-parallel pipelines promise zero on
-# the aggregate path; benchmarks assert it through this hook.
+# the aggregate path; benchmarks assert it through this hook.  The
+# read-compare-write is lock-guarded: coalesces can race on executor
+# worker threads (repro.db.executor), and an unguarded max would let a
+# smaller concurrent peak overwrite a larger one.
 _COALESCED_PEAK = 0
+_COALESCED_LOCK = threading.Lock()
 
 
 def coalesced_row_peak() -> int:
@@ -100,14 +106,16 @@ def coalesced_row_peak() -> int:
 
 def reset_coalesced_row_peak() -> None:
     global _COALESCED_PEAK
-    _COALESCED_PEAK = 0
+    with _COALESCED_LOCK:
+        _COALESCED_PEAK = 0
 
 
 def note_coalesce(rows: int) -> None:
     """Record a global (cross-shard) materialization of ``rows`` rows."""
     global _COALESCED_PEAK
-    if rows > _COALESCED_PEAK:
-        _COALESCED_PEAK = rows
+    with _COALESCED_LOCK:
+        if rows > _COALESCED_PEAK:
+            _COALESCED_PEAK = rows
 
 
 # ----------------------------------------------------------------------
@@ -210,6 +218,8 @@ class ShardedColumnarRelation(ColumnarRelation):
         dictionary: Optional[Dictionary] = None,
         shard_count: Optional[int] = None,
         key_column: int = 0,
+        executor: Optional[ShardExecutor] = None,
+        spill=None,
     ) -> None:
         super().__init__(name, arity, rows=None, dictionary=dictionary)
         if shard_count is None:
@@ -224,6 +234,9 @@ class ShardedColumnarRelation(ColumnarRelation):
             )
         self.shard_count = shard_count
         self.key_column = key_column
+        # Injected ShardExecutor for per-shard fan-outs (None => the
+        # process default, see repro.db.executor).
+        self.executor = executor
         self._shards: List[ColumnarRelation] = [
             ColumnarRelation(
                 f"{name}#{i}", arity, dictionary=self.dictionary
@@ -237,8 +250,19 @@ class ShardedColumnarRelation(ColumnarRelation):
         self._global_base_stamp = 0
         self._base_shard_stamps: List[int] = [0] * shard_count
         self._coalesced: Optional[np.ndarray] = None
+        self.spill = None
+        if spill is not None:
+            self.attach_spill(spill)
         if rows is not None:
             self.add_all(rows)
+
+    def attach_spill(self, pool) -> None:
+        """Hand every shard's main segment to a
+        :class:`repro.db.spill.SpillPool` (residency becomes
+        pool-managed; see the spill module docstring)."""
+        self.spill = pool
+        for shard in self._shards:
+            pool.register(shard)
 
     # ------------------------------------------------------------------
     # internal state
@@ -257,6 +281,24 @@ class ShardedColumnarRelation(ColumnarRelation):
         wrapper = _ShardJournal(self) if journal is not None else None
         for shard in getattr(self, "_shards", ()):
             shard._journal = wrapper
+
+    def _exec(self) -> ShardExecutor:
+        """Executor for read-only per-shard fan-outs."""
+        executor = self.executor
+        return executor if executor is not None else get_default_executor()
+
+    def _mutation_exec(self) -> ShardExecutor:
+        """Executor for *mutating* per-shard fan-outs.
+
+        Serialized whenever durability or spilling is attached: WAL
+        records from two shards must not interleave in the log, and a
+        spill demotion triggered by one shard's barrier must not swap a
+        sibling shard's main segment mid-rewrite.  Plain in-memory
+        relations parallelize freely — shard state is disjoint.
+        """
+        if self._journal is not None or self.spill is not None:
+            return SERIAL
+        return self._exec()
 
     def _invalidate(self) -> None:
         super()._invalidate()
@@ -351,15 +393,21 @@ class ShardedColumnarRelation(ColumnarRelation):
             if global_stamp > stamp:
                 break
             targets[shard_index] = shard_stamp
+        def shard_delta(pair: Tuple[ColumnarRelation, int]):
+            shard, target = pair
+            return shard.delta_since(target)
+
+        try:
+            deltas = self._exec().map(
+                shard_delta, list(zip(self._shards, targets))
+            )
+        except TruncatedHistoryError as exc:
+            raise TruncatedHistoryError(
+                self.name, stamp, self._global_base_stamp
+            ) from exc
         inserted_parts: List[np.ndarray] = []
         deleted_parts: List[np.ndarray] = []
-        for shard, target in zip(self._shards, targets):
-            try:
-                inserted, deleted = shard.delta_since(target)
-            except TruncatedHistoryError as exc:
-                raise TruncatedHistoryError(
-                    self.name, stamp, self._global_base_stamp
-                ) from exc
+        for inserted, deleted in deltas:
             if len(inserted):
                 inserted_parts.append(inserted)
             if len(deleted):
@@ -376,8 +424,9 @@ class ShardedColumnarRelation(ColumnarRelation):
 
     def compact(self) -> None:
         """Fold every shard's delta segments in (content unchanged)."""
-        for shard in self._shards:
-            shard.compact()
+        self._mutation_exec().map(
+            lambda shard: shard.compact(), self._shards
+        )
 
     # ------------------------------------------------------------------
     # mutation
@@ -418,10 +467,14 @@ class ShardedColumnarRelation(ColumnarRelation):
         if not len(codes):
             return
         ids = self._route_codes(codes)
+        work = []
         for index, shard in enumerate(self._shards):
             part = codes[ids == index]
             if len(part):
-                shard.add_coded_batch(part)
+                work.append((shard, part))
+        self._mutation_exec().map(
+            lambda item: item[0].add_coded_batch(item[1]), work
+        )
         self._invalidate()
         self._rebase()
 
@@ -439,11 +492,16 @@ class ShardedColumnarRelation(ColumnarRelation):
         if not len(codes):
             return 0
         ids = self._route_codes(codes)
-        removed = 0
+        work = []
         for index, shard in enumerate(self._shards):
             part = codes[ids == index]
             if len(part):
-                removed += shard.remove_coded_batch(part)
+                work.append((shard, part))
+        removed = sum(
+            self._mutation_exec().map(
+                lambda item: item[0].remove_coded_batch(item[1]), work
+            )
+        )
         if removed:
             self._invalidate()
             self._rebase()
@@ -475,9 +533,11 @@ class ShardedColumnarRelation(ColumnarRelation):
         Same semantics as the unsharded ``retain``: evaluated on the
         merged view, and a removing ``retain`` is a history barrier.
         """
-        removed = 0
-        for shard in self._shards:
-            removed += shard.retain(predicate)
+        removed = sum(
+            self._mutation_exec().map(
+                lambda shard: shard.retain(predicate), self._shards
+            )
+        )
         if removed:
             self._invalidate()
             self._rebase()
@@ -495,7 +555,9 @@ class ShardedColumnarRelation(ColumnarRelation):
         reported through :func:`note_coalesce`.
         """
         if self._coalesced is None:
-            parts = [shard.codes() for shard in self._shards]
+            parts = self._exec().map(
+                lambda shard: shard.codes(), self._shards
+            )
             if len(parts) == 1:
                 self._coalesced = parts[0]
             else:
@@ -515,25 +577,36 @@ class ShardedColumnarRelation(ColumnarRelation):
 
     def distinct_values(self, column: int) -> set:
         (col,) = self._check_columns((column,))
+        parts = self._exec().map(
+            lambda shard: shard.distinct_values(col), self._shards
+        )
         out: set = set()
-        for shard in self._shards:
-            out |= shard.distinct_values(col)
+        for part in parts:
+            out |= part
         return out
 
     def active_domain(self) -> set:
+        parts = self._exec().map(
+            lambda shard: shard.active_domain(), self._shards
+        )
         out: set = set()
-        for shard in self._shards:
-            out |= shard.active_domain()
+        for part in parts:
+            out |= part
         return out
 
     def copy(self, name: Optional[str] = None) -> "ShardedColumnarRelation":
-        """An independent copy with the same partitioning (shared dict)."""
+        """An independent copy with the same partitioning (shared dict).
+
+        The copy inherits the executor but not the spill pool: a pool
+        manages the residency of exactly the shards registered with it.
+        """
         out = ShardedColumnarRelation(
             name or self.name,
             self.arity,
             dictionary=self.dictionary,
             shard_count=self.shard_count,
             key_column=self.key_column,
+            executor=self.executor,
         )
         out._shards = [shard.copy() for shard in self._shards]
         return out

@@ -97,6 +97,10 @@ class Plan:
     # pipelines then run one message per shard and merge (group_reduce
     # over the concatenation of per-shard messages).
     shard_count: int = 1
+    # Shard-executor width: 1 = serial, > 1 = per-shard work fans out
+    # over a thread pool of this many workers (repro.db.executor).
+    # Meaningful only when backend == "sharded".
+    workers: int = 1
 
     def route(self, capability: str) -> PlanRoute:
         """Look up one capability's route by name."""
@@ -124,6 +128,20 @@ class Plan:
                 f"  shards:   {self.shard_count} (hash-partitioned on"
                 " the key column; one FAQ message per shard, merged by"
                 " group_reduce over their concatenation)"
+            )
+            if self.workers > 1:
+                executor = (
+                    f"threaded({self.workers} workers): per-shard maps"
+                    " fan out over a shared thread pool, merged in"
+                    " shard order (bit-identical to serial)"
+                )
+            else:
+                executor = "serial: shards are visited one at a time"
+            lines.append(f"  executor: {executor}")
+            lines.append(
+                "  joins:    shard-by-shard co-partitioned when both"
+                " sides are hash-partitioned on the same variable"
+                " (shard i joins shard i only); broadcast otherwise"
             )
         if self.order is not None:
             lines.append(f"  order:    {' > '.join(self.order)}")
@@ -184,6 +202,7 @@ def plan_query(
     cutoff: Optional[int] = None,
     shard_cutoff: Optional[int] = None,
     stored_shard_count: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Plan:
     """Classify ``query`` and select pipelines for every capability.
 
@@ -196,7 +215,9 @@ def plan_query(
     :func:`repro.db.interface.preferred_shard_count` (or the stored
     partitioning, when the database is already sharded —
     ``stored_shard_count``); ``explain()`` then reports the
-    partitioning.  Pure — no relation is read.
+    partitioning.  ``workers`` records the shard-executor width the
+    session will dispatch with (``explain()`` reports serial vs.
+    threaded fan-out on sharded plans).  Pure — no relation is read.
     """
     classification = classify(query)
     if backend is not None:
@@ -222,12 +243,14 @@ def plan_query(
         shard_count = stored_shard_count
     else:
         shard_count = preferred_shard_count(size)
+    plan_workers = workers if (chosen == "sharded" and workers) else 1
 
     if query.is_boolean():
         if order is not None:
             raise ValueError("Boolean queries admit no answer order")
         return _plan_boolean(
-            query, classification, chosen, reason, shard_count
+            query, classification, chosen, reason, shard_count,
+            plan_workers,
         )
 
     head = tuple(query.head)
@@ -257,7 +280,7 @@ def plan_query(
     maintained = (
         family == FREE_CONNEX
         and query.is_join_query()
-        and chosen == "columnar"
+        and chosen in ("columnar", "sharded")
     )
     routes = (
         _count_route(query, classification, family, maintained),
@@ -276,6 +299,7 @@ def plan_query(
         classification=classification,
         routes=routes,
         shard_count=shard_count,
+        workers=plan_workers,
     )
 
 
@@ -285,6 +309,7 @@ def _plan_boolean(
     backend: str,
     reason: str,
     shard_count: int = 1,
+    workers: int = 1,
 ) -> Plan:
     verdict = classification.verdict("boolean")
     if classification.acyclic:
@@ -315,6 +340,7 @@ def _plan_boolean(
         classification=classification,
         routes=(decide, count),
         shard_count=shard_count,
+        workers=workers,
     )
 
 

@@ -239,7 +239,7 @@ class PreparedQuery:
                     counter = self._get_counter()
                     if counter is not None:
                         return counter.count()
-                if plan.backend == "columnar":
+                if plan.backend in ("columnar", "sharded"):
                     maintainer = self._aggregate_maintainer(semiring)
                     if maintainer is not None:
                         return maintainer.value()

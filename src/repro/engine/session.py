@@ -38,6 +38,7 @@ import os
 from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.db.database import Database, attach
+from repro.db.executor import executor_of
 from repro.db.interface import (
     DEFAULT_COLUMNAR_CUTOFF,
     check_backend,
@@ -73,16 +74,40 @@ class Session:
         db: Union[Database, Mapping, None] = None,
         backend: str = "python",
         columnar_cutoff: int = DEFAULT_COLUMNAR_CUTOFF,
+        workers: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        max_resident_shards: Optional[int] = None,
     ) -> None:
         check_backend(backend)
         if db is None:
-            db = Database(backend=backend)
+            db = Database(
+                backend=backend,
+                workers=workers,
+                spill_dir=spill_dir,
+                max_resident_shards=max_resident_shards,
+            )
         elif isinstance(db, Mapping):
-            db = Database.from_dict(db, backend=backend)
+            db = Database.from_dict(
+                db,
+                backend=backend,
+                workers=workers,
+                spill_dir=spill_dir,
+                max_resident_shards=max_resident_shards,
+            )
         elif not isinstance(db, Database):
             raise TypeError(
                 f"db must be a Database, a mapping, or None; got "
                 f"{type(db).__name__}"
+            )
+        elif (
+            workers is not None
+            or spill_dir is not None
+            or max_resident_shards is not None
+        ):
+            db.configure_shard_runtime(
+                workers=workers,
+                spill_dir=spill_dir,
+                max_resident_shards=max_resident_shards,
             )
         self.db = db
         self.columnar_cutoff = columnar_cutoff
@@ -157,6 +182,7 @@ class Session:
             backend=backend,
             cutoff=self.columnar_cutoff,
             stored_shard_count=self._stored_shard_count(),
+            workers=executor_of(self.db).workers,
         )
         execution_db = self._execution_db(plan.backend)
         prepared = PreparedQuery(self, query, plan, execution_db, semiring)
@@ -171,17 +197,30 @@ class Session:
     # updates (the only supported mutation path)
     # ------------------------------------------------------------------
     def add(self, relation: str, row: Iterable) -> None:
-        """Insert one tuple, in the primary database and all mirrors."""
+        """Insert one tuple, in the primary database and all mirrors.
+
+        With several execution copies the fan-out dispatches through
+        the shard executor — one task per database (each database has
+        its own dictionary and journal, so copies are independent);
+        with a single copy or a serial executor this degenerates to
+        the plain loop.
+        """
         row = tuple(row)
-        for db in self._all_databases():
+
+        def apply(db: Database) -> None:
             db.ensure_relation(relation, len(row)).add(row)
+
+        executor_of(self.db).map(apply, list(self._all_databases()))
 
     def discard(self, relation: str, row: Iterable) -> None:
         """Delete one tuple (no-op when absent), everywhere."""
         row = tuple(row)
-        for db in self._all_databases():
+
+        def apply(db: Database) -> None:
             if relation in db:
                 db[relation].discard(row)
+
+        executor_of(self.db).map(apply, list(self._all_databases()))
 
     # ------------------------------------------------------------------
     # durability
@@ -336,6 +375,9 @@ def connect(
     backoff: Optional[float] = None,
     timeout: Optional[float] = None,
     small_delta: Optional[int] = None,
+    workers: Optional[int] = None,
+    spill_dir: Optional[str] = None,
+    max_resident_shards: Optional[int] = None,
 ):
     """Open a :class:`Session` (the engine's ``connect(...)`` idiom).
 
@@ -370,6 +412,15 @@ def connect(
     path as the *catch-up* source: the follower cold-bootstraps from
     the leader's checkpoint chain and rotated WAL segment files, then
     hands off to the live feed at a stamp-exact boundary.
+
+    Parallel / out-of-core execution knobs (per-open, never
+    persisted): ``workers`` sizes the shard executor — per-shard scans
+    and messages fan out over that many threads, results merged in
+    shard order so answers stay bit-identical to serial (default: the
+    ``REPRO_WORKERS`` environment variable, else serial);
+    ``spill_dir`` / ``max_resident_shards`` bound resident shards with
+    an LRU spill pool — cold shards' compacted code matrices live on
+    disk as memory-maps and fault back in on touch.
     """
     if replica_of is not None:
         if db is not None:
@@ -407,8 +458,18 @@ def connect(
             wal_segment_bytes=wal_segment_bytes,
             chain_depth=chain_depth,
             degraded=degraded,
+            workers=workers,
+            spill_dir=spill_dir,
+            max_resident_shards=max_resident_shards,
         )
         session = Session(durable, columnar_cutoff=columnar_cutoff)
         session._restore_prepared_specs()
         return session
-    return Session(db, backend=backend, columnar_cutoff=columnar_cutoff)
+    return Session(
+        db,
+        backend=backend,
+        columnar_cutoff=columnar_cutoff,
+        workers=workers,
+        spill_dir=spill_dir,
+        max_resident_shards=max_resident_shards,
+    )

@@ -55,6 +55,7 @@ from repro.db.columnar import (
     pack_rows,
     unique_rows,
 )
+from repro.db.executor import ShardExecutor, get_default_executor
 from repro.db.interface import BACKENDS, check_backend
 from repro.db.sharded import ShardedColumnarRelation, note_coalesce
 from repro.joins.frame import Frame
@@ -440,16 +441,26 @@ class ShardedColumnarFrame(ColumnarFrame):
     :func:`repro.db.sharded.note_coalesce`), while the hot operators
     below run shard-parallel-by-construction:
 
-    - **semijoin** — one build table of per-shard-deduplicated packed
-      keys (bounded by the merged separator domain), broadcast against
-      every shard's probe keys;
-    - **join** — the build side is broadcast against each shard
-      (shard x build), and the output inherits the partitioning
-      because the probe side keeps all its columns;
+    - **semijoin** — shard x shard when the two sides are
+      co-partitioned (:meth:`_co_partitioned`); otherwise one build
+      table of per-shard-deduplicated packed keys (bounded by the
+      merged separator domain), broadcast against every shard's probe
+      keys;
+    - **join** — shard x shard when co-partitioned (shard *i* joins
+      shard *i* only, no build-side materialization); otherwise the
+      build side is broadcast against each shard (shard x build).
+      Either way the output inherits the partitioning because the
+      probe side keeps all its columns;
     - **project / select_in / rename / reorder** — per-shard maps;
       a projection that drops the partition variable coalesces (rows
       from different shards may collide, so per-shard dedup would no
       longer be global dedup).
+
+    Every per-shard map dispatches through the frame's
+    :class:`~repro.db.executor.ShardExecutor` (inherited from the
+    originating relation), so shards run in parallel when a worker
+    pool is configured — results are bit-identical to the serial
+    order because the executor preserves shard-index ordering.
 
     Invariant: the shard frames hold pairwise-disjoint row sets — every
     row lives in the shard given by hashing its ``partition_var`` code
@@ -463,6 +474,7 @@ class ShardedColumnarFrame(ColumnarFrame):
         shards: Sequence[ColumnarFrame],
         dictionary: Dictionary,
         partition_var: Optional[str] = None,
+        executor: Optional[ShardExecutor] = None,
     ) -> None:
         self.variables = tuple(variables)
         if len(set(self.variables)) != len(self.variables):
@@ -474,8 +486,16 @@ class ShardedColumnarFrame(ColumnarFrame):
         self.partition_var = (
             partition_var if partition_var in self.variables else None
         )
+        # Injected ShardExecutor for the per-shard operators (None =>
+        # the process default); inherited from the originating relation
+        # and propagated through every derived frame.
+        self.executor = executor
         self._rows_cache: Optional[Set[Row]] = None
         self._coalesced: Optional[np.ndarray] = None
+
+    def _exec(self) -> ShardExecutor:
+        executor = self.executor
+        return executor if executor is not None else get_default_executor()
 
     @classmethod
     def from_sharded_atom(
@@ -508,6 +528,7 @@ class ShardedColumnarFrame(ColumnarFrame):
             shard_frames,
             relation.dictionary,
             partition_var,
+            executor=relation.executor,
         )
 
     # ------------------------------------------------------------------
@@ -516,7 +537,9 @@ class ShardedColumnarFrame(ColumnarFrame):
     @property
     def _codes(self) -> np.ndarray:
         if self._coalesced is None:
-            parts = [shard.codes() for shard in self.shards]
+            parts = self._exec().map(
+                lambda shard: shard.codes(), self.shards
+            )
             if len(parts) == 1:
                 self._coalesced = parts[0]
             else:
@@ -549,17 +572,35 @@ class ShardedColumnarFrame(ColumnarFrame):
             self.dictionary,
             partition_var if partition_var is not None
             else self.partition_var,
+            executor=self.executor,
         )
 
     # ------------------------------------------------------------------
     # shard-parallel algebra
     # ------------------------------------------------------------------
+    def _co_partitioned(self, other) -> bool:
+        """True when shard *i* of ``self`` can pair with shard *i* of
+        ``other`` directly: both sides hash-partition on the same
+        shared variable, over the same dictionary (identical codes =>
+        identical hashes), into the same number of shards.  Rows of
+        ``self`` shard *i* then only ever match rows of ``other``
+        shard *i*, so no build-side materialization is needed."""
+        return (
+            isinstance(other, ShardedColumnarFrame)
+            and self.partition_var is not None
+            and other.partition_var == self.partition_var
+            and other.dictionary is self.dictionary
+            and len(other.shards) == len(self.shards)
+        )
+
     def project(self, variables: Sequence[str]) -> ColumnarFrame:
         if self.partition_var is not None and self.partition_var in variables:
             # Equal projected rows agree on the partition variable, so
             # they live in the same shard: per-shard dedup is global.
             return self._resharded(
-                [shard.project(variables) for shard in self.shards],
+                self._exec().map(
+                    lambda shard: shard.project(variables), self.shards
+                ),
                 variables=tuple(variables),
             )
         return self.to_plain().project(variables)
@@ -572,21 +613,29 @@ class ShardedColumnarFrame(ColumnarFrame):
         )
         return ShardedColumnarFrame(
             tuple(mapping.get(v, v) for v in self.variables),
-            [shard.rename(mapping) for shard in self.shards],
+            self._exec().map(
+                lambda shard: shard.rename(mapping), self.shards
+            ),
             self.dictionary,
             renamed_partition,
+            executor=self.executor,
         )
 
     def select_in(
         self, variables: Sequence[str], allowed: Set[Row]
     ) -> "ShardedColumnarFrame":
         return self._resharded(
-            [shard.select_in(variables, allowed) for shard in self.shards]
+            self._exec().map(
+                lambda shard: shard.select_in(variables, allowed),
+                self.shards,
+            )
         )
 
     def reorder(self, variables: Sequence[str]) -> "ShardedColumnarFrame":
         return self._resharded(
-            [shard.reorder(variables) for shard in self.shards],
+            self._exec().map(
+                lambda shard: shard.reorder(variables), self.shards
+            ),
             variables=tuple(variables),
         )
 
@@ -599,14 +648,25 @@ class ShardedColumnarFrame(ColumnarFrame):
                 else self.empty_like(self.variables)
             )
         other = self._coerce(other)
+        if self._co_partitioned(other):
+            # Shard x shard: matching rows agree on the partition
+            # variable, hence live in same-index shards on both sides.
+            # No build table, no coalesce of either side.
+            pairs = list(zip(self.shards, other.shards))
+            new_shards = self._exec().map(
+                lambda pair: pair[0].semijoin(pair[1]), pairs
+            )
+            return self._resharded(new_shards)
         cardinality = len(self.dictionary)
         positions = list(self.positions(shared))
-        probes: List[np.ndarray] = []
-        for shard in self.shards:
-            probe = pack_rows(shard.codes()[:, positions], cardinality)
-            if probe is None:  # keys too wide to pack: coalesce
-                return self.to_plain().semijoin(other)
-            probes.append(probe)
+        probes = self._exec().map(
+            lambda shard: pack_rows(
+                shard.codes()[:, positions], cardinality
+            ),
+            self.shards,
+        )
+        if any(probe is None for probe in probes):
+            return self.to_plain().semijoin(other)  # keys too wide
         # Domain-sized packed span -> one boolean scatter table (no
         # sorts, one gather per probe shard); wider spans fall back to
         # sorted per-shard-deduplicated build keys.
@@ -621,28 +681,46 @@ class ShardedColumnarFrame(ColumnarFrame):
         if span <= max(_TABLE_SPAN_MIN, 4 * cardinality):
             table = _shard_build_table(other, shared, cardinality, span)
         if table is not None:
-            masks = [table[probe] for probe in probes]
+            masks = self._exec().map(
+                lambda probe: table[probe], probes
+            )
         else:
             build = _shard_build_keys(other, shared, cardinality)
             if build is None:
                 return self.to_plain().semijoin(other)
-            masks = [np.isin(probe, build) for probe in probes]
-        new_shards = [
-            ColumnarFrame(
-                shard.variables,
-                shard.codes()[mask],
+            masks = self._exec().map(
+                lambda probe: np.isin(probe, build), probes
+            )
+        new_shards = self._exec().map(
+            lambda pair: ColumnarFrame(
+                pair[0].variables,
+                pair[0].codes()[pair[1]],
                 self.dictionary,
                 _distinct=True,
-            )
-            for shard, mask in zip(self.shards, masks)
-        ]
+            ),
+            list(zip(self.shards, masks)),
+        )
         return self._resharded(new_shards)
 
     def join(self, other) -> ColumnarFrame:
         other = self._coerce(other)
+        if self._co_partitioned(other):
+            # Shard x shard co-partitioned join: shard i joins shard i
+            # only — neither side is materialized globally, extending
+            # the coalesced_row_peak promise to the build side.
+            pairs = list(zip(self.shards, other.shards))
+            new_shards = self._exec().map(
+                lambda pair: pair[0].join(pair[1]), pairs
+            )
+            return self._resharded(
+                new_shards, variables=new_shards[0].variables
+            )
         if isinstance(other, ShardedColumnarFrame):
             other = other.to_plain()  # the broadcast build side
-        new_shards = [shard.join(other) for shard in self.shards]
+        build = other
+        new_shards = self._exec().map(
+            lambda shard: shard.join(build), self.shards
+        )
         # The join keeps every probe-side column, so the output stays
         # partitioned on the same variable.
         return self._resharded(

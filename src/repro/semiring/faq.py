@@ -60,11 +60,13 @@ from repro.db.columnar import (
     lookup_rows,
 )
 from repro.db.database import Database
+from repro.db.executor import SERIAL
 from repro.db.interface import (
     TruncatedHistoryError,
     snapshot_stamps,
     stale_relations,
 )
+from repro.db.sharded import ShardedColumnarRelation, shard_of_code
 from repro.hypergraph.gyo import join_tree
 from repro.hypergraph.jointree import JoinTree
 from repro.joins.frame import Frame
@@ -542,15 +544,21 @@ def _aggregate_frames_columnar(
             sorted(v for v in frame.variables if v in sep_to_parent)
         )
         parent_pos = list(frame.positions(parent_key_vars))
-        shard_frames = (
-            frame.shards
-            if isinstance(frame, ShardedColumnarFrame)
-            else [frame]
-        )
-        rep_parts: List[np.ndarray] = []
-        value_parts: List[np.ndarray] = []
-        empty_values = semiring.unit_column(0)
-        for shard_frame in shard_frames:
+        if isinstance(frame, ShardedColumnarFrame):
+            shard_frames = list(frame.shards)
+            executor = frame._exec()
+        else:
+            shard_frames = [frame]
+            executor = SERIAL
+
+        def shard_message(shard_frame):
+            """One shard's (separator reps, reduced weights) message.
+
+            Pure per-shard array work over read-only inputs (the
+            child messages and the weight store), so shards run on
+            executor workers; the ordered map keeps the merge below
+            bit-identical to the serial loop.
+            """
             codes = shard_frame.codes()
             if weights is None:
                 values = semiring.unit_column(len(codes))
@@ -575,10 +583,17 @@ def _aggregate_frames_columnar(
             reduced = group_reduce(
                 values, group_ids, group_count, plus_ufunc
             )
+            return representatives, reduced, values[:0]
+
+        shard_results = executor.map(shard_message, shard_frames)
+        rep_parts: List[np.ndarray] = []
+        value_parts: List[np.ndarray] = []
+        empty_values = semiring.unit_column(0)
+        for representatives, reduced, empty in shard_results:
             if len(reduced):
                 rep_parts.append(representatives)
                 value_parts.append(reduced)
-            empty_values = values[:0]
+            empty_values = empty
         if not rep_parts:
             representatives = np.empty(
                 (0, len(parent_pos)), dtype=np.int64
@@ -822,21 +837,48 @@ class AggregateMaintainer:
             else None
         )
         cardinality = len(dictionary)
-        self._codes: Dict[int, np.ndarray] = {}
-        self._values: Dict[int, np.ndarray] = {}
+        # Node storage is *partitioned*: per node a list of aligned
+        # (codes, values) parts — one part per shard of the stored
+        # relation when it is sharded (so rebuilds never coalesce and
+        # a single-tuple delta later touches only its owning part),
+        # one part total otherwise.  _route[node] holds the relation's
+        # (key column, shard count) routing map when partitioned.
+        self._codes: Dict[int, List[np.ndarray]] = {}
+        self._values: Dict[int, List[np.ndarray]] = {}
+        self._route: Dict[int, Optional[Tuple[int, int]]] = {}
         self._messages: Dict[int, _Message] = {}
         self._child_pos: Dict[int, Dict[int, Tuple[int, ...]]] = {}
         self._parent_pos: Dict[int, Tuple[int, ...]] = {}
         for node in self.tree.bottom_up():
             frame = frames[node]
-            codes = frame.codes()
-            if atom_weights is not None:
-                values = atom_weights.column(node, frame)
+            relation = db[query.atoms[node].relation]
+            if (
+                isinstance(frame, ShardedColumnarFrame)
+                and isinstance(relation, ShardedColumnarRelation)
+                and len(frame.shards) == relation.shard_count
+            ):
+                part_frames: List[ColumnarFrame] = list(frame.shards)
+                self._route[node] = (
+                    (relation.key_column, relation.shard_count)
+                    if relation.arity
+                    else None  # arity 0 routes everything to shard 0
+                )
+                executor = frame._exec()
             else:
-                values = semiring.unit_column(len(codes))
-            self._codes[node] = codes
-            self._values[node] = values
-            combined = values
+                part_frames = [frame]
+                self._route[node] = None
+                executor = SERIAL
+            codes_parts = [pf.codes() for pf in part_frames]
+            if atom_weights is not None:
+                values_parts = [
+                    atom_weights.column(node, pf) for pf in part_frames
+                ]
+            else:
+                values_parts = [
+                    semiring.unit_column(len(c)) for c in codes_parts
+                ]
+            self._codes[node] = codes_parts
+            self._values[node] = values_parts
             child_pos: Dict[int, Tuple[int, ...]] = {}
             for child in self.tree.children(node):
                 sep = tuple(
@@ -845,12 +887,7 @@ class AggregateMaintainer:
                         if v in frames[child].variables
                     )
                 )
-                pos = frame.positions(sep)
-                child_pos[child] = pos
-                gathered = self._messages[child].gather(
-                    codes[:, list(pos)], cardinality, semiring.zero
-                )
-                combined = self._times(combined, gathered)
+                child_pos[child] = frame.positions(sep)
             self._child_pos[node] = child_pos
             sep_to_parent = self.tree.separator(node)
             parent_vars = tuple(
@@ -858,11 +895,50 @@ class AggregateMaintainer:
             )
             ppos = frame.positions(parent_vars)
             self._parent_pos[node] = ppos
-            sub = codes[:, list(ppos)] if ppos else codes[:, :0]
-            reps, group_ids, group_count = group_rows(sub, cardinality)
-            reduced = group_reduce(
-                combined, group_ids, group_count, self._plus
+            child_messages = [
+                (list(pos), self._messages[child])
+                for child, pos in child_pos.items()
+            ]
+
+            def part_message(part):
+                """One part's (reps, reduced) toward the parent."""
+                codes, values = part
+                combined = values
+                for pos, message in child_messages:
+                    gathered = message.gather(
+                        codes[:, pos], cardinality, semiring.zero
+                    )
+                    combined = self._times(combined, gathered)
+                sub = codes[:, list(ppos)] if ppos else codes[:, :0]
+                reps, group_ids, group_count = group_rows(
+                    sub, cardinality
+                )
+                reduced = group_reduce(
+                    combined, group_ids, group_count, self._plus
+                )
+                return reps, reduced
+
+            parts_out = executor.map(
+                part_message, list(zip(codes_parts, values_parts))
             )
+            if len(parts_out) == 1:
+                reps, reduced = parts_out[0]
+            else:
+                # Merge of per-part messages: ⊕-combine equal keys of
+                # the shard-order concatenation (the batch path's
+                # cross-shard merge).
+                all_reps = np.concatenate(
+                    [reps for reps, _ in parts_out], axis=0
+                )
+                all_values = np.concatenate(
+                    [reduced for _, reduced in parts_out]
+                )
+                reps, group_ids, group_count = group_rows(
+                    all_reps, cardinality
+                )
+                reduced = group_reduce(
+                    all_values, group_ids, group_count, self._plus
+                )
             self._messages[node] = _Message(reps, reduced)
 
     # ------------------------------------------------------------------
@@ -955,14 +1031,27 @@ class AggregateMaintainer:
     def _apply(
         self, node: int, name: str, rel_row: Row, insert: bool
     ) -> None:
-        """Apply one net relation delta row to one atom node."""
+        """Apply one net relation delta row to one atom node.
+
+        With a partitioned node (sharded stored relation) the delta
+        touches only its *owning* part — the shard given by the
+        relation's routing map — so a single-tuple update is O(one
+        shard), not O(all shards).
+        """
         proj, checks = self._atom_proj[node]
         for pos, first in checks:
             if rel_row[pos] != rel_row[first]:
                 return  # fails the atom's repeated-variable selection
         semiring = self.semiring
         cardinality = len(self.dictionary)
-        codes = self._codes[node]
+        route = self._route[node]
+        slot = (
+            shard_of_code(rel_row[route[0]], route[1])
+            if route is not None
+            else 0
+        )
+        codes = self._codes[node][slot]
+        values = self._values[node][slot]
         frame_row = np.asarray(
             [rel_row[p] for p in proj], dtype=np.int64
         ).reshape(1, len(proj))
@@ -972,22 +1061,20 @@ class AggregateMaintainer:
                 weight = self.weights.coded_weights(name).get(
                     rel_row, semiring.one
                 )
-            weight_arr = _constant_column(
-                1, weight, self._values[node].dtype
-            )
+            weight_arr = _constant_column(1, weight, values.dtype)
             if weight_arr.dtype != np.dtype(object):
-                weight_arr = weight_arr.astype(
-                    self._values[node].dtype, copy=False
-                )
+                weight_arr = weight_arr.astype(values.dtype, copy=False)
             delta = weight_arr
             for child, pos in self._child_pos[node].items():
                 gathered = self._messages[child].gather(
                     frame_row[:, list(pos)], cardinality, semiring.zero
                 )
                 delta = self._times(delta, gathered)
-            self._codes[node] = np.concatenate([codes, frame_row], axis=0)
-            self._values[node] = np.concatenate(
-                [self._values[node], weight_arr]
+            self._codes[node][slot] = np.concatenate(
+                [codes, frame_row], axis=0
+            )
+            self._values[node][slot] = np.concatenate(
+                [values, weight_arr]
             )
         else:
             if codes.shape[1]:
@@ -998,7 +1085,7 @@ class AggregateMaintainer:
             if not len(hit):
                 return  # row never reached this node (defensive)
             row_index = int(hit[0])
-            delta = self._values[node][row_index : row_index + 1].copy()
+            delta = values[row_index : row_index + 1].copy()
             for child, pos in self._child_pos[node].items():
                 gathered = self._messages[child].gather(
                     frame_row[:, list(pos)], cardinality, semiring.zero
@@ -1007,8 +1094,8 @@ class AggregateMaintainer:
             delta = self._negate(delta)
             keep = np.ones(len(codes), dtype=bool)
             keep[row_index] = False
-            self._codes[node] = codes[keep]
-            self._values[node] = self._values[node][keep]
+            self._codes[node][slot] = codes[keep]
+            self._values[node][slot] = values[keep]
         if self._all_zero(delta):
             return  # dead row: ⊕-neutral, nothing to propagate
         ppos = self._parent_pos[node]
@@ -1030,15 +1117,32 @@ class AggregateMaintainer:
             parent = self.tree.parent.get(child)
             if parent is None:
                 return
-            codes = self._codes[parent]
             pos = self._child_pos[parent][child]
-            sub = codes[:, list(pos)] if pos else codes[:, :0]
-            q_keys, t_keys = common_keys(sub, delta_reps, cardinality)
-            affected = np.flatnonzero(np.isin(q_keys, t_keys))
-            if not len(affected):
+            # Collect affected rows part by part (shard-order concat,
+            # so a partitioned parent never coalesces).
+            row_parts: List[np.ndarray] = []
+            value_parts: List[np.ndarray] = []
+            for codes, part_values in zip(
+                self._codes[parent], self._values[parent]
+            ):
+                sub = codes[:, list(pos)] if pos else codes[:, :0]
+                q_keys, t_keys = common_keys(sub, delta_reps, cardinality)
+                affected = np.flatnonzero(np.isin(q_keys, t_keys))
+                if len(affected):
+                    row_parts.append(codes[affected])
+                    value_parts.append(part_values[affected].copy())
+            if not row_parts:
                 return
-            rows = codes[affected]
-            values = self._values[parent][affected].copy()
+            rows = (
+                row_parts[0]
+                if len(row_parts) == 1
+                else np.concatenate(row_parts, axis=0)
+            )
+            values = (
+                value_parts[0]
+                if len(value_parts) == 1
+                else np.concatenate(value_parts)
+            )
             delta_message = _Message(delta_reps, delta_values)
             for other, opos in self._child_pos[parent].items():
                 other_sub = (

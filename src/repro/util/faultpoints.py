@@ -21,6 +21,7 @@ cheap enough to leave in production code paths.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, Tuple
 
@@ -56,9 +57,13 @@ class InjectedCrash(RuntimeError):
 
 # Registry of every declared point (name -> declaring module), the
 # armed countdowns, and per-point hit counters for test assertions.
+# Countdown decrements and hit bumps are lock-guarded: durability sites
+# can be visited from executor worker threads (repro.db.executor), and
+# a racing decrement could fire an armed point twice or never.
 _DECLARED: Dict[str, str] = {}
 _ARMED: Dict[str, int] = {}
 _HITS: Dict[str, int] = {}
+_LOCK = threading.RLock()
 
 
 def declare(*names: str, module: str = "") -> Tuple[str, ...]:
@@ -85,23 +90,27 @@ def arm(point: str, at: int = 1) -> None:
         raise ValueError(f"unknown fault point {point!r}")
     if at < 1:
         raise ValueError(f"fault point visit count must be >= 1, got {at}")
-    _ARMED[point] = at
+    with _LOCK:
+        _ARMED[point] = at
 
 
 def disarm(point: str) -> None:
     """Disarm ``point`` (no-op if it is not armed)."""
-    _ARMED.pop(point, None)
+    with _LOCK:
+        _ARMED.pop(point, None)
 
 
 def reset() -> None:
     """Disarm everything and clear hit counters (test teardown)."""
-    _ARMED.clear()
-    _HITS.clear()
+    with _LOCK:
+        _ARMED.clear()
+        _HITS.clear()
 
 
 def hits(point: str) -> int:
     """How many times ``point`` actually fired since the last reset."""
-    return _HITS.get(point, 0)
+    with _LOCK:
+        return _HITS.get(point, 0)
 
 
 def fires(point: str) -> bool:
@@ -114,12 +123,16 @@ def fires(point: str) -> bool:
     """
     if point not in _ARMED:
         return False
-    _ARMED[point] -= 1
-    if _ARMED[point] > 0:
-        return False
-    del _ARMED[point]
-    _HITS[point] = _HITS.get(point, 0) + 1
-    return True
+    with _LOCK:
+        remaining = _ARMED.get(point)
+        if remaining is None:
+            return False
+        if remaining > 1:
+            _ARMED[point] = remaining - 1
+            return False
+        del _ARMED[point]
+        _HITS[point] = _HITS.get(point, 0) + 1
+        return True
 
 
 def fault_point(point: str) -> None:

@@ -35,6 +35,7 @@ def run_example(name: str) -> None:
         "sharded_ingestion",
         "durable_session",
         "replica_catchup",
+        "parallel_aggregation",
     ],
 )
 def test_example_runs(name, capsys):
