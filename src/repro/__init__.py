@@ -71,6 +71,30 @@ replicate to read followers          session (CRC-checked WAL +
                                      ``catchup_path`` cold-starts a
                                      follower from the leader's
                                      rotated WAL segment files)
+serve sessions to many clients       :mod:`repro.server` — a stdlib
+over the network                     asyncio HTTP/1.1 service:
+                                     :class:`repro.server.QueryServer`
+                                     (or :class:`repro.server.
+                                     ServerThread` for sync embedders)
+                                     exposes multi-tenant databases,
+                                     ``prepare`` → handle, paged
+                                     reads, streamed NDJSON ingestion
+                                     with backpressure batching, and
+                                     SSE ``watch`` streams of
+                                     maintained aggregate changes;
+                                     :class:`repro.server.
+                                     ServerClient` is the matching
+                                     stdlib client
+replicate across machines            ``connect(replica_of=
+over the wire                        "http://host:port/v1/replica/
+                                     db")`` — the URL resolves to an
+                                     :class:`repro.server.
+                                     HttpReplicaTransport` speaking
+                                     the leader's replica endpoints;
+                                     connection drops and 5xx retry
+                                     with backoff, corrupt payloads
+                                     fail fast as
+                                     :class:`ReplicationError`
 operate the durable store            ``DurableDatabase.verify()`` —
 (scrub / verify / repair /           re-check every checkpoint file
 quarantine)                          and WAL segment against manifest
@@ -105,6 +129,8 @@ Subpackages:
 - :mod:`repro.direct_access` — lexicographic / sum-order direct access,
   testing;
 - :mod:`repro.dynamic` — maintained counts under updates;
+- :mod:`repro.server` — the network service layer (asyncio HTTP/SSE
+  server, stdlib client, HTTP replication transport);
 - :mod:`repro.solvers` — reference solvers for the source problems;
 - :mod:`repro.reductions` — the paper's fine-grained reductions;
 - :mod:`repro.classify` — the dichotomy classifier;

@@ -280,6 +280,26 @@ class Database:
             out.add_relation(rel.copy())
         return out
 
+    def close(self) -> None:
+        """Release runtime resources deterministically (idempotent).
+
+        In-memory databases only hold one kind of external resource —
+        the spill pool's memmaps and ``.npy`` files — and closing
+        returns every spilled shard to RAM and deletes the files.  The
+        shard executor is deliberately *not* shut down here: pools are
+        process-shared per worker count (see
+        :func:`repro.db.executor.close_shared_pools` for an explicit
+        global quiesce).  The database stays readable after close.
+        """
+        if self.spill is not None:
+            self.spill.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(
             f"{r.name}:{r.arity}({len(r)})" for r in self._relations.values()
@@ -1012,9 +1032,10 @@ class DurableDatabase(Database):
         self._writer.flush()
 
     def close(self) -> None:
-        """Flush and close the WAL; the database stays readable."""
+        """Flush and close the WAL (and spill); stays readable."""
         if self._writer is not None:
             self._writer.close()
+        super().close()
 
     def __enter__(self) -> "DurableDatabase":
         return self

@@ -78,6 +78,18 @@ class ShardExecutor:
     def parallel(self) -> bool:
         return self.workers > 1
 
+    def stdlib_pool(self) -> Optional[ThreadPoolExecutor]:
+        """The underlying :mod:`concurrent.futures` pool, if any.
+
+        The asyncio serving layer (:mod:`repro.server`) dispatches
+        blocking engine calls off the event loop with
+        ``loop.run_in_executor(pool, fn)``; exposing the shard pool
+        here lets the server and the shard fan-outs share one set of
+        threads instead of stacking a second pool on top.  Serial
+        executors have none and return ``None``.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(workers={self.workers})"
 
@@ -130,6 +142,9 @@ class ParallelExecutor(ShardExecutor):
         # order — and therefore every downstream merge — is preserved.
         return list(self._ensure_pool().map(call, work))
 
+    def stdlib_pool(self) -> ThreadPoolExecutor:
+        return self._ensure_pool()
+
     def close(self) -> None:
         with self._lock:
             if self._pool is not None:
@@ -155,6 +170,21 @@ def executor_for(workers: Optional[int] = None) -> ShardExecutor:
             executor = ParallelExecutor(count)
             _SHARED[count] = executor
         return executor
+
+
+def close_shared_pools() -> None:
+    """Shut down every shared thread pool deterministically.
+
+    Shared executors stay registered (they are keyed by worker count
+    and self-heal — the next ``map`` lazily recreates the pool), so
+    this is safe to call at any quiesce point: session teardown in a
+    long-lived process, test teardown, interpreter exit.  Without it,
+    idle pool threads linger until process exit.
+    """
+    with _SHARED_LOCK:
+        executors = list(_SHARED.values())
+    for executor in executors:
+        executor.close()
 
 
 _DEFAULT: Optional[ShardExecutor] = None

@@ -79,6 +79,7 @@ class SpillPool:
         directory: Optional[str] = None,
         max_resident: Optional[int] = None,
     ) -> None:
+        self._owns_dir = directory is None
         if directory is None:
             directory = tempfile.mkdtemp(prefix="repro-spill-")
         os.makedirs(directory, exist_ok=True)
@@ -89,6 +90,7 @@ class SpillPool:
         self._lock = threading.RLock()
         self._entries: Dict[int, _Entry] = {}  # id(shard) -> entry
         self._clock = 0
+        self._closed = False
 
     # ------------------------------------------------------------------
     # registration and hooks
@@ -96,7 +98,7 @@ class SpillPool:
     def register(self, shard) -> None:
         """Adopt ``shard``: its main segment becomes pool-managed."""
         with self._lock:
-            if id(shard) in self._entries:
+            if self._closed or id(shard) in self._entries:
                 return
             entry = _Entry(shard)
             self._clock += 1
@@ -188,6 +190,53 @@ class SpillPool:
         shard._main_set = None
         shard._invalidate()
         entry.resident = True
+
+    # ------------------------------------------------------------------
+    # deterministic teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release every spill artifact: memmaps, files, the tempdir.
+
+        Spilled shards are promoted back to RAM arrays first (a closed
+        pool must leave its shards fully usable — the session may still
+        serve a last read during teardown), then every spill file is
+        unlinked and, when the pool created its own temporary
+        directory, the directory is removed.  Idempotent; a closed
+        pool ignores further ``register``/``touch``/``adopted`` calls,
+        so late callbacks from executor threads are harmless.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            if not entry.resident:
+                # np.array copies the memmap's contents into RAM and
+                # drops the mapping, releasing the open file.
+                entry.shard._main = np.array(
+                    entry.shard._main, dtype=np.int64
+                )
+                entry.shard._main_set = None
+                entry.shard._invalidate()
+                entry.resident = True
+            entry.shard._spill = None
+            if entry.path:
+                try:
+                    os.unlink(entry.path)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+                entry.path = None
+        if self._owns_dir:
+            try:
+                os.rmdir(self.directory)
+            except OSError:  # pragma: no cover - stray files left
+                pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # ------------------------------------------------------------------
     # introspection (tests, benchmarks, examples)

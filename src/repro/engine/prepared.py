@@ -24,6 +24,8 @@ machinery allows and recomputes otherwise.
 from __future__ import annotations
 
 import operator
+import threading
+from contextlib import ExitStack
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.counting.algorithms import count_answers
@@ -85,6 +87,28 @@ class PreparedQuery:
         self._agg_maintainers: Dict[Semiring, object] = {}
         # capability key -> (stamps, value) for stamp-guarded scalars.
         self._cache: Dict[object, Tuple[Dict[str, int], object]] = {}
+        # Concurrent readers serialize per prepared query (lazy
+        # structure builds and stamp-cache refreshes are not
+        # interleavable); distinct prepared queries stay concurrent.
+        self._build_lock = threading.RLock()
+
+    def _serving_guard(self) -> ExitStack:
+        """Session read lock + per-prepared build lock, re-entrant.
+
+        Every read entry point takes this: the shared session lock
+        keeps reads out of half-applied updates (writers are
+        exclusive, see :class:`repro.util.locks.ReadWriteLock`), and
+        the build lock makes lazy structure construction and cache
+        refresh single-threaded per prepared query.  Both sides are
+        re-entrant, so nested reads (``__getitem__`` → ``count``) are
+        free.
+        """
+        stack = ExitStack()
+        rw = getattr(self.session, "_rw", None)
+        if rw is not None:
+            stack.enter_context(rw.read())
+        stack.enter_context(self._build_lock)
+        return stack
 
     # ------------------------------------------------------------------
     # public surface
@@ -138,46 +162,53 @@ class PreparedQuery:
         return self._counter or None
 
     def _count(self) -> int:
-        plan = self.plan
-        if plan.family == BOOLEAN:
-            return 1 if self._decide() else 0
-        if plan.family == FREE_CONNEX:
-            if plan.maintained_count:
-                counter = self._get_counter()
-                if counter is not None:
-                    return counter.count()
-            query, db = self.query, self._db
-            return self._cached(
-                "count", lambda: count_answers(query, db)
-            )
-        return len(self._materialized())
+        with self._serving_guard():
+            plan = self.plan
+            if plan.family == BOOLEAN:
+                return 1 if self._decide() else 0
+            if plan.family == FREE_CONNEX:
+                if plan.maintained_count:
+                    counter = self._get_counter()
+                    if counter is not None:
+                        return counter.count()
+                query, db = self.query, self._db
+                return self._cached(
+                    "count", lambda: count_answers(query, db)
+                )
+            return len(self._materialized())
 
     def _iterate(self) -> Iterator[Row]:
-        plan = self.plan
-        if plan.family == BOOLEAN:
-            return iter([()] if self._decide() else [])
-        if plan.family == FREE_CONNEX:
-            if self._enumerator is None:
-                self._enumerator = ConstantDelayEnumerator(
-                    self.query, self._db, on_stale="refresh"
-                )
-            return iter(self._enumerator)
-        return iter(self._materialized())
+        # The returned iterator itself runs outside the serving guard
+        # (constant-delay enumeration is lazy); iteration concurrent
+        # with updates is the one read shape left to the caller to
+        # serialize.  Paging (`_access`) is the guarded alternative.
+        with self._serving_guard():
+            plan = self.plan
+            if plan.family == BOOLEAN:
+                return iter([()] if self._decide() else [])
+            if plan.family == FREE_CONNEX:
+                if self._enumerator is None:
+                    self._enumerator = ConstantDelayEnumerator(
+                        self.query, self._db, on_stale="refresh"
+                    )
+                return iter(self._enumerator)
+            return iter(self._materialized())
 
     def _access(self, index: int) -> Row:
-        plan = self.plan
-        if plan.family == BOOLEAN:
-            return ()
-        if plan.family == FREE_CONNEX and plan.access_admissible:
-            if self._accessor is None:
-                self._accessor = LexDirectAccess(
-                    self.query,
-                    self._db,
-                    order=plan.order,
-                    on_stale="refresh",
-                )
-            return self._accessor.access(index)
-        return self._materialized()[index]
+        with self._serving_guard():
+            plan = self.plan
+            if plan.family == BOOLEAN:
+                return ()
+            if plan.family == FREE_CONNEX and plan.access_admissible:
+                if self._accessor is None:
+                    self._accessor = LexDirectAccess(
+                        self.query,
+                        self._db,
+                        order=plan.order,
+                        on_stale="refresh",
+                    )
+                return self._accessor.access(index)
+            return self._materialized()[index]
 
     def _materialized(self) -> List[Row]:
         """The sorted answer list (stamp-guarded; fallback families).
@@ -200,7 +231,8 @@ class PreparedQuery:
             rows.sort(key=lambda row: tuple(row[p] for p in positions))
             return rows
 
-        return self._cached("materialized", compute)
+        with self._serving_guard():
+            return self._cached("materialized", compute)
 
     def _aggregate_maintainer(self, semiring: Semiring):
         key = semiring
@@ -225,6 +257,14 @@ class PreparedQuery:
                 "no semiring: pass AnswerSet.aggregate(semiring) or "
                 "prepare(..., semiring=...)"
             )
+        with self._serving_guard():
+            return self._aggregate_locked(semiring, weights)
+
+    def _aggregate_locked(
+        self,
+        semiring: Semiring,
+        weights: Optional[WeightFn],
+    ) -> object:
         query, db, plan = self.query, self._db, self.plan
         if plan.family == BOOLEAN:
             return semiring.one if self._decide() else semiring.zero

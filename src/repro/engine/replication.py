@@ -53,6 +53,7 @@ __all__ = [
     "FollowerSession",
     "LeaderFeed",
     "ReplicationError",
+    "ReplicationTransport",
     "TransientReplicationError",
 ]
 
@@ -88,7 +89,43 @@ def _rows_of(codes: Union[np.ndarray, tuple, list]) -> List[tuple]:
     return [tuple(r) for r in codes]
 
 
-class LeaderFeed:
+class ReplicationTransport:
+    """The explicit transport seam of the replication protocol.
+
+    Exactly two calls, both returning plain-data payloads:
+
+    - :meth:`handshake` — the full seed a fresh follower bootstraps
+      from (backend, shard layout, dictionary in code order, every
+      relation's content and stamp);
+    - :meth:`pull` — the suffix since the follower's per-relation
+      stamps and dictionary length.
+
+    :class:`LeaderFeed` is the in-process implementation (it *is* the
+    leader);
+    :class:`repro.server.transport.HttpReplicaTransport` moves the
+    same payloads over HTTP, so ``connect(replica_of=...)`` accepts
+    either interchangeably — one follower code path, two wires.
+
+    Failure classification contract: raise
+    :class:`TransientReplicationError` (or let a builtin
+    ``ConnectionError`` / ``TimeoutError`` / ``OSError`` escape) for
+    failures a retry can fix — a refused or dropped connection, a
+    timeout; raise :class:`ReplicationError` for failures it cannot —
+    a corrupt or undecodable payload, a leader that does not serve
+    this database.  :meth:`FollowerSession.sync` retries the former
+    with exponential backoff and surfaces the latter immediately.
+    """
+
+    def handshake(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def pull(
+        self, stamps: Dict[str, int], dict_len: int
+    ) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class LeaderFeed(ReplicationTransport):
     """The leader-side replication tap over a session (or database).
 
     Stateless between calls: everything a pull needs — the follower's
@@ -249,13 +286,27 @@ class FollowerSession:
             self.session = Session(self.db, **kwargs)
             return
         seed = self._call("handshake", feed.handshake)
-        self.db = Database(
-            backend=seed["backend"], shard_count=seed["shard_count"]
-        )
-        self._grow_dictionary(seed["dict_values"], seed["dict_len"])
+        try:
+            self.db = Database(
+                backend=seed["backend"], shard_count=seed["shard_count"]
+            )
+            self._grow_dictionary(seed["dict_values"], seed["dict_len"])
+        except ReplicationError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReplicationError(
+                f"corrupt handshake payload: {exc}"
+            ) from exc
         self.session = Session(self.db, **kwargs)
-        for entry in seed["relations"]:
-            self._apply_entry(entry)
+        try:
+            for entry in seed["relations"]:
+                self._apply_entry(entry)
+        except ReplicationError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReplicationError(
+                f"corrupt handshake payload: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------
     # cold catch-up from the leader's WAL files
@@ -343,17 +394,41 @@ class FollowerSession:
             dict(self._leader_stamps),
             self._dict_len,
         )
-        self._grow_dictionary(payload["dict_values"], payload["dict_len"])
-        applied = reseeded = 0
-        for entry in payload["relations"]:
-            if self._apply_entry(entry):
-                reseeded += 1
-            else:
-                applied += 1
+        # Application failures are *fatal*, never retried: a payload
+        # that arrived intact over the transport but does not decode
+        # or apply is corrupt at the source, and re-pulling the same
+        # bytes cannot fix it.
+        try:
+            self._grow_dictionary(
+                payload["dict_values"], payload["dict_len"]
+            )
+            applied = reseeded = 0
+            for entry in payload["relations"]:
+                if self._apply_entry(entry):
+                    reseeded += 1
+                else:
+                    applied += 1
+        except ReplicationError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReplicationError(
+                f"corrupt pull payload: {exc}"
+            ) from exc
         return {"applied": applied, "reseeded": reseeded}
 
     def _call(self, label: str, fn, *args):
-        """Run one transport call under the retry/backoff policy."""
+        """Run one transport call under the retry/backoff policy.
+
+        Failures are classified, not treated uniformly: a transport
+        that cannot be *reached* — :class:`TransientReplicationError`,
+        or the builtin connection-shaped exceptions a raw socket
+        transport raises (``ConnectionError`` covers refused/reset,
+        ``TimeoutError`` and other ``OSError``\\ s cover the rest) —
+        is retried with exponential backoff; anything else, payload
+        corruption included, is *fatal* and surfaces immediately (a
+        corrupt pickle re-fetched from the same leader stays corrupt;
+        retrying only hides the real failure behind a timeout).
+        """
         deadline = (
             self._clock() + self.timeout
             if self.timeout is not None
@@ -364,18 +439,33 @@ class FollowerSession:
             try:
                 return fn(*args)
             except TransientReplicationError as exc:
-                if attempt == self.retries:
-                    raise ReplicationError(
-                        f"replication {label} failed after "
-                        f"{attempt} attempts: {exc}"
-                    ) from exc
-                if deadline is not None and self._clock() >= deadline:
-                    raise ReplicationError(
-                        f"replication {label} timed out after "
-                        f"{attempt} attempts: {exc}"
-                    ) from exc
-                self._sleep(delay)
+                self._backoff_or_raise(
+                    label, exc, attempt, deadline, delay
+                )
                 delay *= 2
+            except ReplicationError:
+                raise  # non-transient by definition: do not retry
+            except (ConnectionError, TimeoutError, OSError) as exc:
+                self._backoff_or_raise(
+                    label, exc, attempt, deadline, delay
+                )
+                delay *= 2
+
+    def _backoff_or_raise(
+        self, label: str, exc, attempt: int, deadline, delay: float
+    ) -> None:
+        """Sleep before the next attempt, or escalate to terminal."""
+        if attempt == self.retries:
+            raise ReplicationError(
+                f"replication {label} failed after "
+                f"{attempt} attempts: {exc}"
+            ) from exc
+        if deadline is not None and self._clock() >= deadline:
+            raise ReplicationError(
+                f"replication {label} timed out after "
+                f"{attempt} attempts: {exc}"
+            ) from exc
+        self._sleep(delay)
 
     # ------------------------------------------------------------------
     # applying payloads
@@ -467,6 +557,16 @@ class FollowerSession:
 
     def execute(self, query, **kwargs):
         return self.session.execute(query, **kwargs)
+
+    def close(self) -> None:
+        """Release the replica's resources (see :meth:`Session.close`)."""
+        self.session.close()
+
+    def __enter__(self) -> "FollowerSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -49,6 +49,7 @@ from repro.engine.prepared import AnswerSet, PreparedQuery
 from repro.query.cq import ConjunctiveQuery
 from repro.query.parser import parse_query
 from repro.semiring.semirings import Semiring
+from repro.util.locks import ReadWriteLock
 
 QueryLike = Union[str, ConjunctiveQuery]
 
@@ -111,6 +112,12 @@ class Session:
             )
         self.db = db
         self.columnar_cutoff = columnar_cutoff
+        self.closed = False
+        # Single-writer / many-reader contract for multi-threaded
+        # embedders (the HTTP serving layer): mutations take the
+        # exclusive side, AnswerSet reads take the shared side, so a
+        # read never observes a half-applied update across relations.
+        self._rw = ReadWriteLock()
         self._mirrors: dict = {}
         # Prepared-plan cache: (canonical query text, order, resolved
         # backend, default semiring) -> PreparedQuery.  Reusing the
@@ -149,6 +156,7 @@ class Session:
         stale backend choice, and the cache is evicted whenever the
         relation schema changes (a relation created or dropped).
         """
+        self._check_open()
         if isinstance(query, str):
             query = parse_query(query)
         if backend is not None:
@@ -205,22 +213,63 @@ class Session:
         with a single copy or a serial executor this degenerates to
         the plain loop.
         """
+        self._check_open()
         row = tuple(row)
 
         def apply(db: Database) -> None:
             db.ensure_relation(relation, len(row)).add(row)
 
-        executor_of(self.db).map(apply, list(self._all_databases()))
+        with self._rw.write():
+            executor_of(self.db).map(apply, list(self._all_databases()))
 
     def discard(self, relation: str, row: Iterable) -> None:
         """Delete one tuple (no-op when absent), everywhere."""
+        self._check_open()
         row = tuple(row)
 
         def apply(db: Database) -> None:
             if relation in db:
                 db[relation].discard(row)
 
-        executor_of(self.db).map(apply, list(self._all_databases()))
+        with self._rw.write():
+            executor_of(self.db).map(apply, list(self._all_databases()))
+
+    def add_all(self, relation: str, rows: Sequence) -> None:
+        """Bulk insert: one write-lock hold, one batched path per copy.
+
+        The batched relation path (``Relation.add_all``) encodes once
+        and routes whole code batches on the columnar/sharded
+        backends, so callers streaming many tuples (the network
+        ingestion batcher in :mod:`repro.server`) pay per-batch, not
+        per-row, engine cost.
+        """
+        self._check_open()
+        rows = [tuple(r) for r in rows]
+        if not rows:
+            return
+        arity = len(rows[0])
+
+        def apply(db: Database) -> None:
+            db.ensure_relation(relation, arity).add_all(rows)
+
+        with self._rw.write():
+            executor_of(self.db).map(apply, list(self._all_databases()))
+
+    def discard_all(self, relation: str, rows: Sequence) -> None:
+        """Bulk delete (absent rows are no-ops), one lock hold."""
+        self._check_open()
+        rows = [tuple(r) for r in rows]
+        if not rows:
+            return
+
+        def apply(db: Database) -> None:
+            if relation in db:
+                rel = db[relation]
+                for row in rows:
+                    rel.discard(row)
+
+        with self._rw.write():
+            executor_of(self.db).map(apply, list(self._all_databases()))
 
     # ------------------------------------------------------------------
     # durability
@@ -303,6 +352,48 @@ class Session:
                 # A spec that no longer parses or plans (schema moved
                 # on) must not block recovery of the data itself.
                 continue
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the session's resources deterministically.
+
+        Drops the prepared-plan cache (and with it every maintained
+        answer structure), closes the primary database and all backend
+        mirrors — for a durable session that flushes and closes the
+        WAL; for a spilling database it returns shards to RAM and
+        deletes the spill files — and marks the session closed:
+        further ``prepare``/``add``/``discard`` calls raise.  The
+        multi-tenant registry in :mod:`repro.server` relies on this to
+        evict idle tenants without leaking open memmaps or WAL file
+        handles until garbage collection.  Idempotent.
+
+        Shard-executor thread pools are process-shared per worker
+        count and are *not* shut down per session; call
+        :func:`repro.db.executor.close_shared_pools` to quiesce them
+        globally.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        with self._rw.write():
+            self._prepared.clear()
+            for db in self._all_databases():
+                closer = getattr(db, "close", None)
+                if closer is not None:
+                    closer()
+            self._mirrors.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError("session is closed")
 
     # ------------------------------------------------------------------
     # introspection
@@ -434,6 +525,13 @@ def connect(
             FollowerSession,
         )
 
+        if isinstance(replica_of, str):
+            # "http(s)://host:port/v1/replica/<db>" — replicate over
+            # the wire through the HTTP transport adapter; any other
+            # value must already be a transport (LeaderFeed-shaped).
+            from repro.server.transport import transport_for_url
+
+            replica_of = transport_for_url(replica_of)
         return FollowerSession(
             replica_of,
             retries=DEFAULT_RETRIES if retries is None else retries,

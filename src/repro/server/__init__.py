@@ -1,0 +1,45 @@
+"""The serving layer: sessions as a multi-tenant network service.
+
+Built entirely on the standard library (asyncio + hand-rolled
+HTTP/1.1), the package splits into:
+
+- :mod:`repro.server.http` — wire plumbing: request parsing, chunked
+  bodies, NDJSON line streaming, keep-alive, SSE chunked responses.
+- :mod:`repro.server.tenants` — named-session registry with LRU
+  eviction of idle tenants through ``Session.close``.
+- :mod:`repro.server.batcher` — backpressure-aware coalescing of
+  streamed updates into bulk ``add_all`` / ``discard_all`` calls.
+- :mod:`repro.server.app` — :class:`QueryServer` (routes, the JSON
+  error envelope, the SSE watch hub, the replication endpoints) and
+  :class:`ServerThread` for synchronous embedders.
+- :mod:`repro.server.transport` — the HTTP replication transport
+  behind ``connect(replica_of="http://host:port/v1/replica/db")``.
+- :mod:`repro.server.client` — a stdlib client mirroring the
+  ``AnswerSet`` read surface over the wire, including the SSE stream.
+"""
+
+from repro.server.app import SEMIRINGS, QueryServer, ServerThread
+from repro.server.client import (
+    RemoteQuery,
+    ServerClient,
+    ServerError,
+    WatchEvent,
+)
+from repro.server.http import HttpError
+from repro.server.transport import (
+    HttpReplicaTransport,
+    transport_for_url,
+)
+
+__all__ = [
+    "HttpError",
+    "HttpReplicaTransport",
+    "QueryServer",
+    "RemoteQuery",
+    "SEMIRINGS",
+    "ServerClient",
+    "ServerError",
+    "ServerThread",
+    "WatchEvent",
+    "transport_for_url",
+]

@@ -1,0 +1,97 @@
+"""A shared/exclusive lock for the session's reader/writer contract.
+
+The engine's consistency story is single-writer: every mutation flows
+through :meth:`repro.engine.session.Session.add` / ``discard`` /
+``add_all``, which advance the relations' ``mutation_stamp``s and let
+prepared structures repair themselves.  Serving that session to many
+concurrent readers (the network layer in :mod:`repro.server`, or any
+multi-threaded embedder) additionally needs *reads* to never observe a
+half-applied mutation — a torn state between two relations of one
+update, or a delta segment mid-append.
+
+:class:`ReadWriteLock` provides exactly that, with **writer
+preference** and **re-entrant reads**:
+
+* any number of readers share the lock while no writer is active;
+* a writer waits for all readers to drain and then runs exclusively;
+* once a writer is *waiting*, fresh readers queue behind it — a
+  continuous read storm (the serving layer's steady state) can
+  therefore never starve the update stream;
+* read acquisition is re-entrant per thread: a thread already inside
+  the read side re-enters freely even while a writer waits, because
+  blocking it would deadlock against its own outer hold.  Per-thread
+  depth is tracked in a :class:`threading.local`.
+
+No upgrade/downgrade, no timeouts: mutations are short and readers are
+plentiful, so the simplest correct policy wins.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """Shared ``read()`` / exclusive ``write()`` context managers."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        self._local = threading.local()
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Shared acquisition; re-entrant within a thread."""
+        reentrant = self._depth() > 0
+        if not reentrant:
+            with self._cond:
+                # Fresh readers also yield to *waiting* writers
+                # (writer preference); re-entrant ones must not, or
+                # they would deadlock against their own outer hold.
+                while self._writer or self._writers_waiting:
+                    self._cond.wait()
+                self._readers += 1
+        self._local.depth = self._depth() + 1
+        try:
+            yield
+        finally:
+            self._local.depth -= 1
+            if not reentrant:
+                with self._cond:
+                    self._readers -= 1
+                    if self._readers == 0:
+                        self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Exclusive acquisition: waits out readers and other writers."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+                self._writer = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReadWriteLock(readers={self._readers}, "
+            f"writer={self._writer}, "
+            f"waiting={self._writers_waiting})"
+        )

@@ -36,6 +36,7 @@ def run_example(name: str) -> None:
         "durable_session",
         "replica_catchup",
         "parallel_aggregation",
+        "http_serving",
     ],
 )
 def test_example_runs(name, capsys):

@@ -307,3 +307,90 @@ def test_catchup_ignores_a_torn_wal_tail(tmp_path):
     assert summary == {"applied": 1, "reseeded": 0}
     assert state(follower.db) == state(leader.db)
     leader.db.close()
+
+
+# ----------------------------------------------------------------------
+# transport failure classification (PR 9)
+# ----------------------------------------------------------------------
+class RefusingFeed:
+    """Raises raw connection errors (not pre-wrapped transients)."""
+
+    def __init__(self, feed, refusals, exc=ConnectionRefusedError):
+        self.feed = feed
+        self.refusals = refusals
+        self.exc = exc
+        self.calls = 0
+
+    def handshake(self):
+        return self.feed.handshake()
+
+    def pull(self, stamps, dict_len):
+        self.calls += 1
+        if self.calls <= self.refusals:
+            raise self.exc("connection refused")
+        return self.feed.pull(stamps, dict_len)
+
+
+class CorruptingFeed:
+    """Returns structurally broken payloads (missing required keys)."""
+
+    def __init__(self, feed):
+        self.feed = feed
+        self.calls = 0
+
+    def handshake(self):
+        return self.feed.handshake()
+
+    def pull(self, stamps, dict_len):
+        self.calls += 1
+        payload = self.feed.pull(stamps, dict_len)
+        for entry in payload["relations"]:
+            entry.pop("stamp", None)  # every mode requires it
+        return payload
+
+
+@pytest.mark.parametrize(
+    "exc", (ConnectionRefusedError, ConnectionResetError, TimeoutError)
+)
+def test_raw_connection_errors_are_retried_as_transient(exc):
+    """A transport needn't pre-classify: refused/reset/timeout retry."""
+    leader = connect({"R": [(1, 2)]}, backend="columnar")
+    refusing = RefusingFeed(LeaderFeed(leader), refusals=2, exc=exc)
+    sleeps = []
+    follower = FollowerSession(
+        refusing, retries=5, backoff=0.01, sleep=sleeps.append
+    )
+    leader.add("R", (5, 5))
+    follower.sync()
+    assert state(follower.db) == state(leader.db)
+    assert sleeps == [0.01, 0.02]  # two refusals, two backoffs
+    assert refusing.calls == 3
+
+
+def test_raw_connection_errors_exhaust_into_terminal_error():
+    leader = connect({"R": [(1, 2)]}, backend="columnar")
+    refusing = RefusingFeed(LeaderFeed(leader), refusals=99)
+    follower = FollowerSession(
+        refusing, retries=3, backoff=0.0, sleep=lambda s: None
+    )
+    with pytest.raises(ReplicationError) as excinfo:
+        follower.sync()
+    assert not isinstance(excinfo.value, TransientReplicationError)
+    assert refusing.calls == 3
+
+
+def test_corrupt_payload_is_fatal_without_retry():
+    """A payload that decodes but cannot apply must NOT be retried:
+    re-pulling the same corrupt bytes cannot converge, and blind
+    retries would mask real protocol bugs."""
+    leader = connect({"R": [(1, 2)]}, backend="columnar")
+    corrupting = CorruptingFeed(LeaderFeed(leader))
+    follower = FollowerSession(
+        corrupting, retries=5, backoff=0.01, sleep=lambda s: None
+    )
+    leader.add("R", (9, 9))
+    with pytest.raises(ReplicationError) as excinfo:
+        follower.sync()
+    assert "corrupt" in str(excinfo.value)
+    assert not isinstance(excinfo.value, TransientReplicationError)
+    assert corrupting.calls == 1  # no retry on fatal classification
