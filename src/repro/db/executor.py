@@ -81,12 +81,13 @@ class ShardExecutor:
     def stdlib_pool(self) -> Optional[ThreadPoolExecutor]:
         """The underlying :mod:`concurrent.futures` pool, if any.
 
-        The asyncio serving layer (:mod:`repro.server`) dispatches
-        blocking engine calls off the event loop with
-        ``loop.run_in_executor(pool, fn)``; exposing the shard pool
-        here lets the server and the shard fan-outs share one set of
-        threads instead of stacking a second pool on top.  Serial
-        executors have none and return ``None``.
+        Serial executors have none and return ``None``.  Callers that
+        submit work which may itself re-enter :meth:`map` (e.g. an
+        outer engine call fanning out over shards) must NOT run that
+        work on this pool: outer calls waiting on inner shard tasks in
+        the same bounded pool deadlock once it saturates.  The asyncio
+        serving layer keeps its own dedicated pool for exactly that
+        reason.
         """
         return None
 

@@ -22,11 +22,14 @@ HTTP layer (:mod:`repro.server.http`).  The API surface::
 **Threading model.**  The asyncio loop owns all bookkeeping (tenant
 registry, hubs, batchers); every engine call — count, page,
 aggregate, bulk updates, replica payload assembly — is dispatched to
-the shard executor's thread pool via ``run_in_executor``, where the
-session's read/write lock (:class:`repro.util.locks.ReadWriteLock`)
-serializes it against concurrent mutation.  The loop never blocks on
-the engine, so hundreds of keep-alive connections multiplex over a
-handful of engine threads.
+the server's own dedicated thread pool via ``run_in_executor``, where
+the session's read/write lock
+(:class:`repro.util.locks.ReadWriteLock`) serializes it against
+concurrent mutation.  The server pool is distinct from the shard
+executor's pool (engine calls fan out into the latter, so sharing one
+bounded pool could deadlock it); the loop never blocks on the engine,
+so hundreds of keep-alive connections multiplex over a handful of
+engine threads.
 
 **Errors.**  Every failure renders as the JSON envelope
 ``{"error": {"code": ..., "message": ...}}`` with a stable code:
@@ -48,12 +51,13 @@ import json
 import pickle
 import threading
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.db.executor import executor_for, resolve_workers
+from repro.db.executor import resolve_workers
 from repro.db.interface import (
     CorruptionError,
     DegradedDatabaseError,
@@ -162,6 +166,11 @@ class WatchHub:
     """
 
     HISTORY = 1024
+    #: Max undelivered frames per subscriber; a consumer too slow to
+    #: drain this backlog is dropped (end-of-stream marker) rather
+    #: than accumulating frames without bound — cursors/replay let it
+    #: reconnect and resume from its ``Last-Event-ID``.
+    QUEUE_LIMIT = 256
 
     def __init__(self, served: ServedQuery) -> None:
         self.served = served
@@ -234,8 +243,20 @@ class WatchHub:
             f"id: {self.seq}\nevent: change\ndata: {data}\n\n"
         ).encode("utf-8")
         self.history.append((self.seq, frame))
-        for queue in self.queues:
-            queue.put_nowait((self.seq, frame))
+        for queue in list(self.queues):
+            try:
+                queue.put_nowait((self.seq, frame))
+            except asyncio.QueueFull:
+                # Stalled consumer: stop feeding it.  Swap its oldest
+                # undelivered event for the end-of-stream marker — it
+                # drains what it can, sees the marker, disconnects,
+                # and resumes from its cursor on reconnect.
+                self.queues.remove(queue)
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    pass
+                queue.put_nowait((None, b""))
 
     async def prime(self, run_blocking) -> None:
         """Publish the initial snapshot (before the first subscriber)."""
@@ -245,7 +266,7 @@ class WatchHub:
     def subscribe(
         self, cursor: int
     ) -> Tuple[List[Tuple[int, bytes]], asyncio.Queue]:
-        queue: asyncio.Queue = asyncio.Queue()
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.QUEUE_LIMIT)
         self.queues.append(queue)
         replay = [item for item in self.history if item[0] > cursor]
         return replay, queue
@@ -283,12 +304,18 @@ class QueryServer:
         self.queue_size = queue_size
         self.heartbeat = heartbeat
         self.max_body = max_body
-        # The engine pool: always a real thread pool, even when the
-        # session default would resolve serial — the event loop must
-        # never run engine work inline.
-        self._pool = executor_for(
-            max(2, resolve_workers(workers))
-        ).stdlib_pool()
+        # The engine pool: a dedicated thread pool for run_in_executor
+        # dispatch — deliberately NOT the shared shard pool.  Engine
+        # calls made from these threads fan out through
+        # ``ParallelExecutor.map`` on the shard pool; if both outer
+        # calls and inner shard tasks drew from one bounded pool, a
+        # writer holding the session lock could wait on inner tasks
+        # queued behind readers blocked on that same lock — a permanent
+        # deadlock once the pool saturates.
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, resolve_workers(workers)),
+            thread_name_prefix="repro-serve",
+        )
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: Set[asyncio.Task] = set()
 
@@ -317,6 +344,7 @@ class QueryServer:
             if tenant.batcher is not None:
                 await tenant.batcher.close()
         self.registry.close()
+        self._pool.shutdown(wait=True, cancel_futures=True)
 
     @property
     def url(self) -> str:
@@ -741,6 +769,12 @@ class QueryServer:
                     except asyncio.TimeoutError:
                         await stream.send(b": heartbeat\n\n")
                         continue
+                    if seq is None:
+                        # Dropped by the hub for falling behind; end
+                        # the stream so the client reconnects with its
+                        # cursor and resumes from replay.
+                        await stream.end()
+                        break
                     if seq <= last_sent:
                         continue  # already covered by replay
                     await stream.send(frame)

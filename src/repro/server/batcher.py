@@ -75,6 +75,11 @@ class UpdateBatcher:
             raise RuntimeError("update batcher is closed")
         self._ensure_task()
         await self._queue.put((op, relation, row))
+        if self._failure is not None:
+            # The drainer died while we were blocked on a full queue
+            # (it drained the queue to wake us); the record we just
+            # enqueued will never be applied.
+            raise self._failure
         self.enqueued_seq += 1
         return self.enqueued_seq
 
@@ -149,6 +154,14 @@ class UpdateBatcher:
             raise
         except BaseException as exc:
             self._failure = exc
+            # Nothing will consume the queue anymore: clear it so
+            # producers blocked in put() wake up (their post-put
+            # failure check raises) instead of waiting forever.
+            while True:
+                try:
+                    self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
             async with self._applied_cond:
                 self._applied_cond.notify_all()
 

@@ -284,6 +284,13 @@ async def read_request(
                 raise HttpError(
                     400, "bad_request", "malformed Content-Length"
                 ) from None
+            if length < 0:
+                # A negative length would make _read_block call
+                # reader.read(-N) — read-until-EOF — hanging the
+                # keep-alive connection and misframing the stream.
+                raise HttpError(
+                    400, "bad_request", "negative Content-Length"
+                )
         else:
             length = 0
     body = BodyReader(reader, length, chunked, limit=max_body)

@@ -62,7 +62,19 @@ def default_session_factory(
                 "this server was started without a data_root; "
                 "durable tenants are unavailable",
             )
-        kwargs["path"] = os.path.join(data_root, name)
+        path = os.path.join(data_root, name)
+        # Belt and braces under the registry's name validation: a
+        # durable tenant's directory must stay strictly inside
+        # data_root ('.' / '..' would alias or escape it).
+        root = os.path.realpath(data_root)
+        if not os.path.realpath(path).startswith(root + os.sep):
+            raise HttpError(
+                400,
+                "bad_db_name",
+                f"tenant directory for {name!r} would escape the "
+                "server's data_root",
+            )
+        kwargs["path"] = path
         kwargs["sync"] = config.get("sync", "batch")
     return connect(**kwargs)
 
@@ -188,11 +200,18 @@ class TenantRegistry:
     # lifecycle
     # ------------------------------------------------------------------
     def create(self, name: str, config: dict) -> Tenant:
-        if not name or not set(name) <= NAME_OK:
+        # At least one alphanumeric: rules out '.' and '..', which
+        # would otherwise alias or escape data_root as durable paths.
+        if (
+            not name
+            or not set(name) <= NAME_OK
+            or not any(ch.isalnum() for ch in name)
+        ):
             raise HttpError(
                 400,
                 "bad_db_name",
-                "database names use [A-Za-z0-9_.-] only",
+                "database names use [A-Za-z0-9_.-] only and need at "
+                "least one alphanumeric character",
             )
         if name in self._tenants:
             raise HttpError(

@@ -24,10 +24,13 @@ mocked transports:
   errors, missing tenants/handles, duplicate creation, bad updates.
 """
 
+import asyncio
 import itertools
+import socket
 import threading
 import time
 from contextlib import contextmanager
+from types import SimpleNamespace
 
 import pytest
 
@@ -464,3 +467,186 @@ def test_unknown_route_is_404():
         with pytest.raises(ServerError) as excinfo:
             client._json("GET", "/v1/nonsense")
         assert excinfo.value.code == "no_such_route"
+
+
+# ----------------------------------------------------------------------
+# hardening regressions
+# ----------------------------------------------------------------------
+def test_dot_only_db_names_rejected(tmp_path):
+    # '.' and '..' pass the character-set check but would alias or
+    # escape data_root as durable tenant directories.
+    with serving(data_root=str(tmp_path)) as (server, client):
+        for name in (".", ".."):
+            with pytest.raises(ServerError) as excinfo:
+                client.create_db(name, durable=True)
+            assert excinfo.value.code == "bad_db_name"
+        assert list(tmp_path.iterdir()) == []
+
+
+def test_session_factory_pins_durable_paths_inside_data_root(tmp_path):
+    # Belt and braces below the registry's name validation: a custom
+    # registry must still not place a tenant outside data_root.
+    from repro.server.http import HttpError
+    from repro.server.tenants import default_session_factory
+
+    with pytest.raises(HttpError) as excinfo:
+        default_session_factory("..", {"durable": True}, str(tmp_path))
+    assert excinfo.value.code == "bad_db_name"
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_negative_content_length_rejected():
+    # A negative length once reached reader.read(-N) — read-until-EOF
+    # — hanging the keep-alive connection.
+    with serving() as (server, client):
+        with socket.create_connection(
+            (server.host, server.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Length: -5\r\n"
+                b"\r\n"
+            )
+            chunks = []
+            while True:
+                block = sock.recv(65536)
+                if not block:
+                    break
+                chunks.append(block)
+        data = b"".join(chunks)
+        assert data.split(b"\r\n", 1)[0].endswith(b"400 Bad Request")
+        assert b"bad_request" in data
+
+
+def test_server_pool_is_not_the_shard_pool():
+    # Regression: sharing one bounded pool between run_in_executor
+    # dispatch and the shard fan-outs those calls make can deadlock
+    # once every thread is an outer call waiting on an inner task.
+    from repro.db.executor import executor_for
+
+    with serving(workers=2) as (server, client):
+        shard_pool = executor_for(2).stdlib_pool()
+        assert server.server._pool is not shard_pool
+
+
+def test_concurrent_reads_during_sharded_updates_do_not_deadlock():
+    # The saturation scenario behind the dedicated server pool: a
+    # sharded add_all holds the write lock and fans out per-shard work
+    # while reader requests block on the same lock.  When the server
+    # shared the 2-thread shard pool, the inner shard tasks queued
+    # behind the blocked readers forever.
+    from repro.server.client import RemoteQuery
+
+    with serving(workers=2, flush_rows=8) as (server, client):
+        client.create_db("db", backend="sharded", shard_count=4, workers=2)
+        client.add("db", "E", [(i, i % 7) for i in range(64)])
+        handle = client.prepare("db", "q(x, y) :- E(x, y)").handle
+        errors = []
+        done = threading.Event()
+
+        def reads():
+            reader = ServerClient(server.host, server.port)
+            try:
+                q = RemoteQuery(reader, {"handle": handle})
+                while not done.is_set():
+                    q.count()
+                    q.page(0, 5)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+            finally:
+                reader.close()
+
+        readers = [
+            threading.Thread(target=reads, daemon=True) for _ in range(4)
+        ]
+        for thread in readers:
+            thread.start()
+        try:
+            for round_no in range(5):
+                base = 200 + 64 * round_no
+                client.add(
+                    "db", "E", [(base + i, i) for i in range(64)]
+                )
+        finally:
+            done.set()
+        for thread in readers:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in readers)
+        assert errors == []
+
+
+def test_batcher_failure_wakes_blocked_producers():
+    # A producer blocked in put() on a full queue must observe the
+    # drainer's failure instead of waiting forever on a dead consumer.
+    from repro.server.batcher import UpdateBatcher
+
+    async def scenario():
+        boom = RuntimeError("engine blew up")
+
+        async def run_blocking(fn, *args):
+            raise boom
+
+        session = SimpleNamespace(
+            add_all=lambda *args: None,
+            discard_all=lambda *args: None,
+        )
+        batcher = UpdateBatcher(
+            session,
+            run_blocking,
+            queue_size=1,
+            flush_rows=1,
+            flush_interval=0.01,
+        )
+
+        async def producer():
+            for i in range(10):
+                await batcher.put("add", "E", (i,))
+
+        with pytest.raises(RuntimeError, match="engine blew up"):
+            await asyncio.wait_for(producer(), timeout=10)
+
+    asyncio.run(scenario())
+
+
+def test_watch_hub_drops_overflowing_subscriber():
+    # A stalled SSE consumer's queue is bounded: on overflow the hub
+    # stops feeding it and appends the end-of-stream marker instead of
+    # accumulating frames without bound.
+    from repro.server.app import WatchHub
+
+    class CountingAnswers:
+        def __init__(self):
+            self.calls = 0
+
+        def count(self):
+            self.calls += 1
+            return self.calls
+
+    served = SimpleNamespace(
+        prepared=SimpleNamespace(
+            query=SimpleNamespace(relation_symbols=()),
+            semiring=None,
+            database=[],
+        ),
+        answers=CountingAnswers(),
+    )
+
+    async def scenario():
+        async def run_blocking(fn, *args):
+            return fn(*args)
+
+        hub = WatchHub(served)
+        hub.QUEUE_LIMIT = 2
+        replay, queue = hub.subscribe(0)
+        assert replay == []
+        for _ in range(5):
+            await hub.notify(run_blocking)
+        assert queue not in hub.queues  # dropped, no longer fed
+        items = []
+        while not queue.empty():
+            items.append(queue.get_nowait())
+        assert len(items) <= hub.QUEUE_LIMIT
+        assert items[-1][0] is None  # the end-of-stream marker
+
+    asyncio.run(scenario())
