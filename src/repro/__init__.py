@@ -95,6 +95,29 @@ over the wire                        "http://host:port/v1/replica/
                                      with backoff, corrupt payloads
                                      fail fast as
                                      :class:`ReplicationError`
+join cyclic queries at NumPy         :func:`repro.joins.generic_join.
+speed / aggregate without            generic_join_codes` — the
+decoding                             breadth-first *frontier* Generic
+                                     Join over dictionary-code
+                                     matrices (zero per-row decodes;
+                                     the default on the columnar and
+                                     sharded backends, ``REPRO_
+                                     FRONTIER=0`` restores the
+                                     depth-first oracle);
+                                     :func:`generic_join` is the same
+                                     with values decoded at the
+                                     boundary
+speed up semiring aggregation        nothing — the fused group-lookup
+                                     kernel (``fused_group_lookup``)
+                                     is the FAQ default on columnar
+                                     frames (``REPRO_FAQ_FUSED=0``
+                                     restores the chained pipeline);
+                                     install ``numba`` and set
+                                     ``REPRO_KERNELS=numba`` for
+                                     jit-compiled per-semiring
+                                     kernels (:mod:`repro.semiring.
+                                     kernels`; optional, object
+                                     semirings unaffected)
 operate the durable store            ``DurableDatabase.verify()`` —
 (scrub / verify / repair /           re-check every checkpoint file
 quarantine)                          and WAL segment against manifest
@@ -122,9 +145,11 @@ Subpackages:
 - :mod:`repro.hypergraph` — acyclicity, join trees, free-connexness,
   disruptive trios, Brault-Baron witnesses, star size, AGM exponents;
 - :mod:`repro.matmul` — Boolean matrix multiplication backends;
-- :mod:`repro.joins` — Yannakakis, generic join, AYZ triangle, LW joins;
+- :mod:`repro.joins` — Yannakakis, generic join (frontier-vectorized),
+  AYZ triangle, LW joins;
 - :mod:`repro.counting` — answer counting algorithms + interpolation;
-- :mod:`repro.semiring` — aggregation over semirings (FAQ);
+- :mod:`repro.semiring` — aggregation over semirings (FAQ; fused
+  group-lookup kernels, optional numba compilation);
 - :mod:`repro.enumeration` — constant-delay enumeration;
 - :mod:`repro.direct_access` — lexicographic / sum-order direct access,
   testing;

@@ -26,7 +26,7 @@ from repro.db.database import Database
 from repro.hypergraph.freeconnex import is_free_connex
 from repro.hypergraph.gyo import is_acyclic
 from repro.joins.fc_reduce import free_connex_reduce
-from repro.joins.generic_join import generic_join
+from repro.joins.generic_join import generic_join, generic_join_codes
 from repro.query.cq import ConjunctiveQuery
 from repro.semiring.faq import aggregate_acyclic, aggregate_frames
 from repro.semiring.semirings import COUNTING
@@ -62,6 +62,11 @@ def count_brute_force(query: ConjunctiveQuery, db: Database) -> int:
     """
     if query.is_boolean():
         return 1 if query.holds(db) else 0
+    coded = generic_join_codes(query, db)
+    if coded is not None:
+        # Columnar inputs: the frontier join's distinct head rows are
+        # the count — no tuple ever decodes.
+        return len(coded[0])
     return len(generic_join(query, db))
 
 

@@ -108,6 +108,41 @@ def reset_decoded_row_count() -> None:
         _DECODED_ROWS = 0
 
 
+# ----------------------------------------------------------------------
+# aggregation-scratch instrumentation
+# ----------------------------------------------------------------------
+# Peak row count of any materialized aggregation intermediate — a
+# gathered per-row message column or a reduced (per-group) message —
+# since the last reset.  The chained FAQ pipeline materializes one
+# full-size gathered column per child message; the fused pipeline
+# (:func:`fused_group_lookup`) only ever materializes group-sized
+# reduced values, and tests assert that win through this hook instead
+# of auditing allocations.  Same locking rationale as the decode
+# counter: per-shard work runs on pool threads and an unguarded max
+# would let a smaller concurrent peak overwrite a larger one.
+_SCRATCH_PEAK = 0
+_SCRATCH_LOCK = threading.Lock()
+
+
+def scratch_peak() -> int:
+    """Largest materialized aggregation intermediate (rows) since reset."""
+    return _SCRATCH_PEAK
+
+
+def reset_scratch_peak() -> None:
+    global _SCRATCH_PEAK
+    with _SCRATCH_LOCK:
+        _SCRATCH_PEAK = 0
+
+
+def note_scratch(rows: int) -> None:
+    """Record a materialized aggregation intermediate of ``rows`` rows."""
+    global _SCRATCH_PEAK
+    with _SCRATCH_LOCK:
+        if rows > _SCRATCH_PEAK:
+            _SCRATCH_PEAK = rows
+
+
 class Dictionary:
     """An append-only bijection ``value <-> dense int code``.
 
@@ -436,6 +471,87 @@ def lookup_rows(
     return np.where(found, order[pos], -1).astype(np.int64, copy=False)
 
 
+def fused_group_lookup(
+    source_sub: np.ndarray,
+    source_values: np.ndarray,
+    query_sub: np.ndarray,
+    cardinality: int,
+    plus_ufunc,
+    times_fn,
+    target: np.ndarray,
+    scratch: Optional[np.ndarray] = None,
+    kernel=None,
+) -> np.ndarray:
+    """Fused ``group_reduce`` → binary-search gather → ⊗-combine.
+
+    Semantically identical to the chained pipeline
+
+        reps, ids, n = group_rows(source_sub, cardinality)
+        reduced = group_reduce(source_values, ids, n, plus_ufunc)
+        index = lookup_rows(query_sub, reps, cardinality)
+        found = index >= 0
+        target[:] = times_fn(target, reduced[np.where(found, index, 0)])
+
+    but in one pass: the source rows are key-sorted once, each equal-key
+    segment is ⊕-reduced (``reduceat``), the query keys binary-search
+    the sorted unique source keys directly, and the gathered segment
+    values are ⊗-combined into ``target`` in place (``out=`` for native
+    dtypes, reusing ``scratch`` for the gather).  Neither the group
+    representative matrix (G×d) nor — given a ``scratch`` buffer — a
+    fresh full-size gathered column is materialized; the new
+    allocations are the 1-D key columns and the group-sized reduced
+    values, reported through :func:`note_scratch` (the chained pipeline
+    reports its full-size gathered columns through the same hook, which
+    is how tests assert the fusion's peak-memory win).
+
+    The per-group ⊕ fold runs in source row order within each key (the
+    stable sort), exactly like :func:`group_reduce` after
+    :func:`group_rows` — results are bit-identical to the chain for
+    every semiring, including object-dtype carriers.
+
+    Query rows without a matching source key pick up an arbitrary
+    segment's value; mask them with the returned ``found`` array, the
+    same way the chained pipeline masks its dead rows.
+
+    ``kernel``, when given, is a compiled fused segment-reduce + search
+    + combine (:mod:`repro.semiring.kernels`, numba-jitted); it
+    replaces the reduceat/searchsorted/gather steps with one pass.
+    """
+    n = len(target)
+    if not len(source_sub):
+        return np.zeros(n, dtype=bool)
+    q_keys, s_keys = common_keys(query_sub, source_sub, cardinality)
+    order = np.argsort(s_keys, kind="stable")
+    sorted_keys = s_keys[order]
+    seg_starts = np.flatnonzero(
+        np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+    )
+    uniq_keys = sorted_keys[seg_starts]
+    sorted_values = source_values[order]
+    note_scratch(len(uniq_keys))
+    found = np.empty(n, dtype=bool)
+    if kernel is not None:
+        kernel(sorted_values, seg_starts, uniq_keys, q_keys, target, found)
+        return found
+    reduced = plus_ufunc.reduceat(sorted_values, seg_starts)
+    pos = np.searchsorted(uniq_keys, q_keys)
+    np.minimum(pos, len(uniq_keys) - 1, out=pos)
+    np.equal(uniq_keys[pos], q_keys, out=found)
+    if (
+        scratch is not None
+        and scratch.shape == target.shape
+        and scratch.dtype == reduced.dtype
+        and reduced.dtype != np.dtype(object)
+    ):
+        np.take(reduced, pos, out=scratch)
+        times_fn(target, scratch, out=target)
+    else:
+        gathered = reduced[pos]
+        note_scratch(len(gathered))
+        target[:] = times_fn(target, gathered)
+    return found
+
+
 class ColumnarRelation:
     """A named, fixed-arity tuple set stored as NumPy code columns.
 
@@ -482,6 +598,7 @@ class ColumnarRelation:
         self._tuple_cache: Optional[List[Row]] = None
         self._set_cache: Optional[FrozenSet[Row]] = None
         self._indexes: Dict[Tuple[int, ...], Dict[Row, List[Row]]] = {}
+        self._distinct_counts: Optional[Tuple[int, ...]] = None
         # Durability hook (repro.db.wal.WalJournal, or the sharded
         # substrate's forwarding wrapper).  None costs one attribute
         # check per mutation; non-None mirrors every op and barrier
@@ -503,6 +620,7 @@ class ColumnarRelation:
         self._set_cache = None
         self._merged = None
         self._indexes.clear()
+        self._distinct_counts = None
 
     def _compact_limit(self) -> int:
         return max(
@@ -903,6 +1021,24 @@ class ColumnarRelation:
         codes = np.unique(self.codes()[:, col])
         decode = self.dictionary.decode
         return {decode(int(c)) for c in codes}
+
+    def column_distinct_counts(self) -> Tuple[int, ...]:
+        """Distinct codes per column (cached until the next mutation).
+
+        The cheap statistic behind statistics-aware planning (ROADMAP
+        open item 4): Generic Join breaks variable-order ties toward
+        variables whose columns hold fewer distinct values (narrower
+        frontiers), and ``explain()`` cites the measured counts.  One
+        ``np.unique`` per column over the merged view; ``_invalidate``
+        drops the cache, so a stale count is never served.
+        """
+        if self._distinct_counts is None:
+            codes = self.codes()
+            self._distinct_counts = tuple(
+                int(len(np.unique(codes[:, j])))
+                for j in range(self.arity)
+            )
+        return self._distinct_counts
 
     def project(
         self, columns: Sequence[int], name: Optional[str] = None

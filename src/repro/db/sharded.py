@@ -585,6 +585,30 @@ class ShardedColumnarRelation(ColumnarRelation):
             out |= part
         return out
 
+    def column_distinct_counts(self) -> Tuple[int, ...]:
+        """Distinct codes per column, unioned across shards (no coalesce).
+
+        Per-shard ``np.unique`` passes fan out over the shard executor
+        and the shard results are unioned per column — a code can land
+        in several shards unless the column is the routing key, so the
+        per-shard counts cannot simply be summed.  No global code
+        matrix is materialized; :meth:`shard_sizes` supplies the
+        companion skew histogram the planner's ``explain()`` cites.
+        """
+        if self._distinct_counts is None:
+            arity = self.arity
+
+            def shard_uniques(shard: ColumnarRelation) -> List[np.ndarray]:
+                codes = shard.codes()
+                return [np.unique(codes[:, j]) for j in range(arity)]
+
+            parts = self._exec().map(shard_uniques, list(self._shards))
+            self._distinct_counts = tuple(
+                int(len(np.unique(np.concatenate([p[j] for p in parts]))))
+                for j in range(arity)
+            )
+        return self._distinct_counts
+
     def active_domain(self) -> set:
         parts = self._exec().map(
             lambda shard: shard.active_domain(), self._shards

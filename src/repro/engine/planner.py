@@ -101,6 +101,14 @@ class Plan:
     # over a thread pool of this many workers (repro.db.executor).
     # Meaningful only when backend == "sharded".
     workers: int = 1
+    # Measured per-relation statistics (pre-rendered lines from
+    # Session._measure_statistics): rows, per-column distinct counts,
+    # shard-size histograms.  They break Generic Join variable-order
+    # ties and explain() cites them next to the theorem citations.
+    stats: Tuple[str, ...] = ()
+    # "numba" when compiled fused semiring kernels are active for this
+    # process, else "numpy" (repro.semiring.kernels.kernel_backend).
+    kernel_backend: str = "numpy"
 
     def route(self, capability: str) -> PlanRoute:
         """Look up one capability's route by name."""
@@ -145,6 +153,47 @@ class Plan:
             )
         if self.order is not None:
             lines.append(f"  order:    {' > '.join(self.order)}")
+        for stat in self.stats:
+            lines.append(f"  stats:    {stat}")
+        wcoj = any(
+            "worst-case-optimal" in route.algorithm
+            for route in self.routes
+        )
+        if wcoj:
+            if self.backend in ("columnar", "sharded"):
+                strategy = (
+                    "breadth-first frontier arrays (all prefixes per"
+                    " level extended at once; zero per-row decodes"
+                )
+                if self.backend == "sharded":
+                    strategy += (
+                        f"; frontiers split into {self.shard_count}"
+                        " chunks per level through the shard executor"
+                    )
+                strategy += ")"
+                if self.stats:
+                    strategy += (
+                        "; variable-order ties broken by the measured"
+                        " distinct counts above"
+                    )
+            else:
+                strategy = (
+                    "depth-first search over prefix tries"
+                    " (explicit stack; python backend)"
+                )
+            lines.append(f"  wcoj:     {strategy}")
+        if self.backend in ("columnar", "sharded"):
+            if self.kernel_backend == "numba":
+                kernels = (
+                    "numba: fused group-reduce/gather/combine compiled"
+                    " per semiring (REPRO_KERNELS)"
+                )
+            else:
+                kernels = (
+                    "numpy: fused group-lookup via reduceat +"
+                    " searchsorted (numba not active)"
+                )
+            lines.append(f"  kernels:  {kernels}")
         for route in self.routes:
             lines.append(route.render())
         if self.maintained_count:
@@ -203,6 +252,7 @@ def plan_query(
     shard_cutoff: Optional[int] = None,
     stored_shard_count: Optional[int] = None,
     workers: Optional[int] = None,
+    stats: Sequence[str] = (),
 ) -> Plan:
     """Classify ``query`` and select pipelines for every capability.
 
@@ -217,7 +267,11 @@ def plan_query(
     ``stored_shard_count``); ``explain()`` then reports the
     partitioning.  ``workers`` records the shard-executor width the
     session will dispatch with (``explain()`` reports serial vs.
-    threaded fan-out on sharded plans).  Pure — no relation is read.
+    threaded fan-out on sharded plans).  ``stats`` carries measured
+    per-relation statistics the *session* collected (the planner stays
+    pure — no relation is read here); ``explain()`` cites them and the
+    worst-case-optimal routes note that variable-order ties break on
+    them.
     """
     classification = classify(query)
     if backend is not None:
@@ -250,7 +304,7 @@ def plan_query(
             raise ValueError("Boolean queries admit no answer order")
         return _plan_boolean(
             query, classification, chosen, reason, shard_count,
-            plan_workers,
+            plan_workers, tuple(stats),
         )
 
     head = tuple(query.head)
@@ -300,7 +354,18 @@ def plan_query(
         routes=routes,
         shard_count=shard_count,
         workers=plan_workers,
+        stats=tuple(stats),
+        kernel_backend=_kernel_backend(),
     )
+
+
+def _kernel_backend() -> str:
+    from repro.semiring.kernels import kernel_backend
+
+    try:
+        return kernel_backend()
+    except RuntimeError:  # REPRO_KERNELS=numba without numba installed
+        return "numpy"
 
 
 def _plan_boolean(
@@ -310,6 +375,7 @@ def _plan_boolean(
     reason: str,
     shard_count: int = 1,
     workers: int = 1,
+    stats: Tuple[str, ...] = (),
 ) -> Plan:
     verdict = classification.verdict("boolean")
     if classification.acyclic:
@@ -341,6 +407,8 @@ def _plan_boolean(
         routes=(decide, count),
         shard_count=shard_count,
         workers=workers,
+        stats=stats,
+        kernel_backend=_kernel_backend(),
     )
 
 

@@ -175,7 +175,19 @@ class PreparedQuery:
                 return self._cached(
                     "count", lambda: count_answers(query, db)
                 )
-            return len(self._materialized())
+            # Fallback families: reuse a fresh materialization when one
+            # exists, else count without decoding — on columnar inputs
+            # count_answers reads the frontier join's code matrix
+            # length directly, skipping the sorted tuple list entirely.
+            entry = self._cache.get("materialized")
+            if entry is not None and not stale_relations(
+                self._db, entry[0]
+            ):
+                return len(entry[1])
+            query, db = self.query, self._db
+            return self._cached(
+                "count", lambda: count_answers(query, db, method="brute")
+            )
 
     def _iterate(self) -> Iterator[Row]:
         # The returned iterator itself runs outside the serving guard

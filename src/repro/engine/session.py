@@ -191,6 +191,7 @@ class Session:
             cutoff=self.columnar_cutoff,
             stored_shard_count=self._stored_shard_count(),
             workers=executor_of(self.db).workers,
+            stats=_measure_statistics(self.db, query),
         )
         execution_db = self._execution_db(plan.backend)
         prepared = PreparedQuery(self, query, plan, execution_db, semiring)
@@ -448,6 +449,36 @@ class Session:
         return (
             f"Session({self.db!r}, cutoff={self.columnar_cutoff})"
         )
+
+
+def _measure_statistics(
+    db: Database, query: ConjunctiveQuery
+) -> List[str]:
+    """Cheap measured statistics of the query's relations, one line each.
+
+    Row counts always; per-column distinct counts where the backend
+    computes them from the dictionary codes
+    (``column_distinct_counts`` — cached until the next mutation);
+    shard-size histograms on the sharded backend.  The lines feed
+    ``Plan.stats``: ``explain()`` cites them verbatim, and the join
+    layers consume the same counters directly
+    (:func:`repro.joins.generic_join._choose_order` breaks variable
+    -order ties on them), so what the plan reports is what executed.
+    """
+    stats: List[str] = []
+    for name in sorted({atom.relation for atom in query.atoms}):
+        if name not in db:
+            continue
+        rel = db[name]
+        line = f"{name}: rows={len(rel)}"
+        counter = getattr(rel, "column_distinct_counts", None)
+        if counter is not None:
+            line += f" distinct={tuple(counter())}"
+        sizes = getattr(rel, "shard_sizes", None)
+        if sizes is not None:
+            line += f" shard_sizes={tuple(sizes())}"
+        stats.append(line)
+    return stats
 
 
 def connect(

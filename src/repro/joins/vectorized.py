@@ -780,6 +780,28 @@ def columnar_family(frames: Iterable) -> Optional[Dictionary]:
     return dictionary
 
 
+def relation_family(relations: Iterable) -> Optional[Dictionary]:
+    """The shared dictionary of an all-columnar relation family, else None.
+
+    The relation-level counterpart of :func:`columnar_family`, with the
+    same soundness rule: cross-relation code comparisons (the frontier
+    Generic Join probes every atom's prefix tables with one shared
+    frontier matrix) require every relation to be a
+    :class:`~repro.db.columnar.ColumnarRelation` — sharded ones
+    included — over one :class:`~repro.db.columnar.Dictionary`.
+    ``None`` sends callers to their decoded fallback.
+    """
+    dictionary: Optional[Dictionary] = None
+    for relation in relations:
+        if not isinstance(relation, ColumnarRelation):
+            return None
+        if dictionary is None:
+            dictionary = relation.dictionary
+        elif relation.dictionary is not dictionary:
+            return None
+    return dictionary
+
+
 def frame_for_atom(relation, variables: Sequence[str]):
     """An atom frame of the backend matching the stored relation."""
     if isinstance(relation, ShardedColumnarRelation):

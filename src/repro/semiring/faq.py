@@ -47,6 +47,7 @@ The gap between the two paths on the clique query is experiment E13.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -55,9 +56,11 @@ from repro.db.columnar import (
     ColumnarRelation,
     atom_projection,
     common_keys,
+    fused_group_lookup,
     group_reduce,
     group_rows,
     lookup_rows,
+    note_scratch,
 )
 from repro.db.database import Database
 from repro.db.executor import SERIAL
@@ -70,7 +73,7 @@ from repro.db.sharded import ShardedColumnarRelation, shard_of_code
 from repro.hypergraph.gyo import join_tree
 from repro.hypergraph.jointree import JoinTree
 from repro.joins.frame import Frame
-from repro.joins.generic_join import generic_join
+from repro.joins.generic_join import generic_join, generic_join_codes
 from repro.joins.semijoin import atom_frames, full_reducer_pass
 from repro.joins.vectorized import (
     ColumnarFrame,
@@ -496,6 +499,112 @@ def _aggregate_frames_python(
     return semiring.product(node_value[root] for root in tree.roots)
 
 
+def _faq_fused_enabled() -> bool:
+    """The ``REPRO_FAQ_FUSED`` escape hatch (default: on).
+
+    ``REPRO_FAQ_FUSED=0`` forces the chained gather/group-reduce
+    message passing — the parity tests compare the two pipelines on
+    identical inputs.
+    """
+    return os.environ.get("REPRO_FAQ_FUSED", "1").strip().lower() not in (
+        "0",
+        "off",
+        "chained",
+    )
+
+
+def _aggregate_frames_fused(
+    frames: Mapping[int, ColumnarFrame],
+    tree: JoinTree,
+    semiring: Semiring,
+    weights: Optional["_AtomWeights"],
+) -> object:
+    """Fused message passing for unsharded columnar trees.
+
+    The chained pipeline sends a child's message as group-reduced
+    ``(separator reps, reduced values)`` and receives it with a
+    binary-search gather plus an elementwise ⊗ — three full-frame
+    intermediates per child (the clamped index, the gathered incoming
+    column, and the fresh ⊗ result).  Here a child's message stays
+    *unreduced* — its surviving separator codes and combined values,
+    arrays it owns anyway — and the parent consumes it with one
+    :func:`~repro.db.columnar.fused_group_lookup` call per child:
+    group-reduce, gather, and in-place ⊗ into the parent's running
+    column, reusing a single scratch buffer across children.  The only
+    per-child allocation is the reduced message itself (one entry per
+    distinct separator key); ``scratch_peak`` asserts it.  Fold orders
+    are identical to the chained pipeline's (both group with stable
+    sorts, so each ⊕ segment folds the child's rows in frame order,
+    and children ⊗-apply in the same tree order), so results match
+    bit for bit.  Semirings with a compiled kernel
+    (:meth:`~repro.semiring.semirings.Semiring.fused_kernel`) run the
+    whole consume as one jitted loop.
+    """
+    plus_ufunc, times_fn, dtype = semiring.kernels()
+    kernel = semiring.fused_kernel()
+    # pending[child]: the child's surviving separator codes and
+    # combined values, unreduced; consumed exactly once by the parent.
+    pending: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    node_value: Dict[int, object] = {}
+    root_set = set(tree.roots)
+    for node in tree.bottom_up():
+        frame = frames[node]
+        cardinality = len(frame.dictionary)
+        codes = frame.codes()
+        n = len(codes)
+        if weights is None:
+            values = semiring.unit_column(n)
+        else:
+            values = weights.column(node, frame)
+        alive = np.ones(n, dtype=bool)
+        scratch = (
+            np.empty(n, dtype=dtype)
+            if dtype is not None and np.dtype(dtype) != np.dtype(object)
+            else None
+        )
+        for child in tree.children(node):
+            sep = tuple(
+                sorted(
+                    v for v in frame.variables
+                    if v in frames[child].variables
+                )
+            )
+            positions = list(frame.positions(sep))
+            child_sub, child_values = pending.pop(child)
+            found = fused_group_lookup(
+                child_sub,
+                child_values,
+                codes[:, positions],
+                cardinality,
+                plus_ufunc,
+                times_fn,
+                values,
+                scratch=scratch,
+                kernel=kernel,
+            )
+            # Dead rows hold garbage combinations; masked out below.
+            alive &= found
+        if not alive.all():
+            codes = codes[alive]
+            values = values[alive]
+        if node in root_set:
+            node_value[node] = (
+                semiring.as_scalar(plus_ufunc.reduce(values))
+                if len(values)
+                else semiring.zero
+            )
+        else:
+            sep_to_parent = tree.separator(node)
+            parent_key_vars = tuple(
+                sorted(v for v in frame.variables if v in sep_to_parent)
+            )
+            parent_pos = list(frame.positions(parent_key_vars))
+            pending[node] = (codes[:, parent_pos], values)
+    return semiring.as_scalar(
+        semiring.product(node_value[root] for root in tree.roots)
+    )
+
+
 def _aggregate_frames_columnar(
     frames: Mapping[int, ColumnarFrame],
     tree: JoinTree,
@@ -521,6 +630,10 @@ def _aggregate_frames_columnar(
     distributed aggregation is literally a merge of messages, with no
     shared state beyond the append-only dictionary.
     """
+    if _faq_fused_enabled() and not any(
+        isinstance(f, ShardedColumnarFrame) for f in frames.values()
+    ):
+        return _aggregate_frames_fused(frames, tree, semiring, weights)
     plus_ufunc, times_fn, _ = semiring.kernels()
     messages: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
     node_value: Dict[int, object] = {}
@@ -572,6 +685,7 @@ def _aggregate_frames_columnar(
                 alive &= found
                 incoming = child_values[np.where(found, index, 0)]
                 # Dead rows pick up garbage here; masked out below.
+                note_scratch(len(incoming))
                 values = times_fn(values, incoming)
             if not alive.all():
                 codes = codes[alive]
@@ -633,9 +747,20 @@ def aggregate_generic(
 
     Runs in Õ(m^{ρ*}); this is the baseline path for cyclic queries
     such as the k-clique and k-cycle queries of Section 4.
+
+    On columnar databases the answers come from the frontier join as a
+    code matrix (:func:`~repro.joins.generic_join.generic_join_codes`)
+    and the fold runs as weight-column ⊗ products plus one ⊕ reduce —
+    zero per-answer Python, zero decodes.  Arbitrary scalar weight
+    functions (anything without the coded-column protocol of
+    :meth:`WeightedDatabase.atom_weight_fn`) keep the decoded fold.
     """
     if not query.is_join_query():
         raise ValueError("aggregate_generic requires a join query")
+    if weights is None or hasattr(weights, "expanders"):
+        coded = generic_join_codes(query, db)
+        if coded is not None:
+            return _aggregate_codes(query, db, semiring, weights, coded[0])
     if weights is None:
         weights = lambda i, row: semiring.one  # noqa: E731
     head = tuple(query.head)
@@ -655,6 +780,38 @@ def aggregate_generic(
             value = semiring.times(value, weights(i, row))
         total = semiring.plus(total, value)
     return total
+
+
+def _aggregate_codes(
+    query: ConjunctiveQuery,
+    db: Database,
+    semiring: Semiring,
+    weights: Optional["_AtomWeights"],
+    codes: np.ndarray,
+) -> object:
+    """⊕-fold the coded answer matrix of a join query, zero decodes.
+
+    One weight column per atom (scattered from the stored code-keyed
+    weights, defaulting to ``one``), ⊗-combined in atom order exactly
+    like the scalar fold, then one ⊕ reduce.
+    """
+    plus_ufunc, times_fn, _ = semiring.kernels()
+    if not len(codes):
+        return semiring.as_scalar(semiring.zero)
+    if weights is None:
+        return semiring.as_scalar(
+            plus_ufunc.reduce(semiring.unit_column(len(codes)))
+        )
+    position = {v: i for i, v in enumerate(query.head)}
+    values = semiring.unit_column(len(codes))
+    cardinality = len(db[query.atoms[0].relation].dictionary)
+    for atom in query.atoms:
+        full = codes[:, [position[v] for v in atom.variables]]
+        column = weights.weighted.coded_weight_column(
+            atom.relation, full, semiring, cardinality
+        )
+        values = times_fn(values, column)
+    return semiring.as_scalar(plus_ufunc.reduce(values))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,128 @@
+"""Optional compiled kernels for the fused FAQ aggregation pass.
+
+:func:`~repro.db.columnar.fused_group_lookup` collapses the FAQ
+message chain — group-reduce the child's values, binary-search the
+parent's keys, ⊗-combine into the running product — into one pass.
+Its NumPy form is already allocation-light; this module optionally
+compiles the *whole* pass into a single ``numba``-jitted loop per
+semiring, removing even the reduced/gathered temporaries: per query
+row, walk the child's sorted segment, fold with ⊕, combine into the
+target with ⊗, never touching a full-size array.
+
+``numba`` is deliberately **not** a dependency.  Everything here is
+import-guarded: without it (or with ``REPRO_KERNELS=numpy``)
+:func:`fused_kernel_for` returns ``None`` and callers take the NumPy
+path; results are bit-identical either way because both perform the
+same ⊕ fold in the same order.  The object-dtype escape hatch in
+:mod:`repro.semiring.semirings` is untouched — kernels exist only for
+the four native-dtype semirings.
+
+Set ``REPRO_KERNELS=numba`` to *require* compiled kernels (raises if
+numba is missing) — used by the CI job that installs numba to make
+sure the compiled path actually runs.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Callable, Optional
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+except ImportError:  # pragma: no cover - the common container path
+    numba = None
+
+
+def _mode() -> str:
+    return os.environ.get("REPRO_KERNELS", "auto").strip().lower()
+
+
+def kernel_backend() -> str:
+    """``"numba"`` when compiled kernels are active, else ``"numpy"``."""
+    mode = _mode()
+    if mode == "numpy":
+        return "numpy"
+    if numba is None:
+        if mode == "numba":
+            raise RuntimeError(
+                "REPRO_KERNELS=numba but numba is not installed"
+            )
+        return "numpy"
+    return "numba"
+
+
+# name -> (plus scalar fold, times scalar fold, numpy dtype).  The
+# names match the Semiring instances in semirings.py; the scalar ops
+# are the elementwise forms of their np_plus/np_times ufuncs, so the
+# compiled fold is exactly the reduceat/ufunc fold of the NumPy path.
+_SPECS = {
+    "counting": (lambda a, b: a + b, lambda a, b: a * b, np.int64),
+    "min-plus": (min, lambda a, b: a + b, np.float64),
+    "max-plus": (max, lambda a, b: a + b, np.float64),
+    "boolean": (lambda a, b: a or b, lambda a, b: a and b, np.bool_),
+}
+
+
+@lru_cache(maxsize=None)
+def _build(name: str) -> Optional[Callable]:
+    if numba is None or name not in _SPECS:
+        return None
+    plus, times, _ = _SPECS[name]
+    plus = numba.njit(plus)
+    times = numba.njit(times)
+
+    def kernel(sorted_values, seg_starts, uniq_keys, q_keys, target, found):
+        n_seg = len(uniq_keys)
+        n_val = len(sorted_values)
+        for i in range(len(q_keys)):
+            key = q_keys[i]
+            # binary search over the distinct source keys
+            lo, hi = 0, n_seg
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if uniq_keys[mid] < key:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo >= n_seg or uniq_keys[lo] != key:
+                found[i] = False
+                continue
+            found[i] = True
+            start = seg_starts[lo]
+            end = seg_starts[lo + 1] if lo + 1 < n_seg else n_val
+            acc = sorted_values[start]
+            for j in range(start + 1, end):
+                acc = plus(acc, sorted_values[j])
+            target[i] = times(target[i], acc)
+
+    try:  # pragma: no cover - depends on numba version support
+        return numba.njit(kernel, cache=False, nogil=True)
+    except Exception:
+        return None
+
+
+def fused_kernel_for(semiring) -> Optional[Callable]:
+    """The compiled fused kernel for ``semiring``, or ``None``.
+
+    ``None`` means "use the NumPy path" — numba missing, disabled via
+    ``REPRO_KERNELS=numpy``, no spec for this semiring, or the jit
+    refused to compile on this interpreter.  The returned callable has
+    the :func:`~repro.db.columnar.fused_group_lookup` kernel signature
+    ``(sorted_values, seg_starts, uniq_keys, q_keys, target, found)``.
+    """
+    mode = _mode()
+    if mode == "numpy":
+        return None
+    kernel = _build(getattr(semiring, "name", ""))
+    if kernel is None and mode == "numba" and numba is not None:
+        raise RuntimeError(
+            f"REPRO_KERNELS=numba but no compiled kernel for {semiring!r}"
+        )
+    if kernel is None and mode == "numba":
+        raise RuntimeError(
+            "REPRO_KERNELS=numba but numba is not installed"
+        )
+    return kernel

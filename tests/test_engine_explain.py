@@ -29,6 +29,8 @@ plan for q() :- R(x, y), S(y, z)
   family:   boolean
   backend:  python (forced by caller)
   structure: acyclic=True free-connex=True self-join-free=True rho*=2.000
+  stats:    R: rows=2
+  stats:    S: rows=2
   decide    via Yannakakis semijoin reduction -- Õ(m) (Yannakakis) [Theorem 3.1 / 3.7]
   count     via decide, then 0/1 -- Õ(m) (counting = deciding for Boolean queries) [Theorem 3.1]
   updates:  session.add/discard bump mutation stamps; served structures refresh or recompute before answering"""
@@ -39,6 +41,8 @@ plan for q(x) :- R(x, y), S(y, z)
   backend:  python (m=6 < cutoff 2048)
   structure: acyclic=True free-connex=True self-join-free=True rho*=2.000
   order:    x
+  stats:    R: rows=2
+  stats:    S: rows=2
   count     via free-connex FAQ message passing -- Õ(m) (free-connex counting) [Theorem 3.13]
   iterate   via constant-delay enumeration -- Õ(m) preprocessing + Õ(1) delay [Theorem 3.17]
   access    via lex direct access on (x) -- Õ(m) preprocessing + Õ(log m) per access [Theorem 3.24 / Corollary 3.22]
@@ -51,6 +55,9 @@ plan for q(a, b, c) :- R(a, b), S(b, c)
   backend:  columnar (forced by caller)
   structure: acyclic=True free-connex=True self-join-free=True rho*=2.000
   order:    a > b > c
+  stats:    R: rows=2
+  stats:    S: rows=2
+  kernels:  numpy: fused group-lookup via reduceat + searchsorted (numba not active)
   count     via FAQ message passing (counting semiring), incrementally maintained -- Õ(m) (free-connex counting) [Theorem 3.13]
   iterate   via constant-delay enumeration -- Õ(m) preprocessing + Õ(1) delay [Theorem 3.17]
   access    via lex direct access on (a > b > c) -- Õ(m) preprocessing + Õ(log m) per access [Theorem 3.24 / Corollary 3.22]
@@ -63,6 +70,8 @@ plan for q(a, b, c) :- R(a, b), S(b, c)
   backend:  python (forced by caller)
   structure: acyclic=True free-connex=True self-join-free=True rho*=2.000
   order:    a > c > b
+  stats:    R: rows=2
+  stats:    S: rows=2
   count     via free-connex FAQ message passing -- Õ(m) (free-connex counting) [Theorem 3.13]
   iterate   via constant-delay enumeration -- Õ(m) preprocessing + Õ(1) delay [Theorem 3.17]
   access    via materialize and sort -- O(output) preprocessing (sort), O(1) per access [Theorem 3.24 / Lemma 3.23]
@@ -76,6 +85,8 @@ plan for q(x, z) :- R(x, y), S(y, z)
   backend:  python (forced by caller)
   structure: acyclic=True free-connex=False self-join-free=True rho*=2.000
   order:    x > z
+  stats:    R: rows=2
+  stats:    S: rows=2
   count     via materialize and count -- O(full-join size) (enumerate and count) [Theorem 3.12 / 3.13 / 4.6]
   iterate   via materialize, then stream in order -- materialize (full evaluation) [Theorem 3.16]
               note: no constant-delay guarantee: the query is not free-connex, so linear preprocessing with constant delay is ruled out on the hard side of the enumeration dichotomy
@@ -91,6 +102,10 @@ plan for q(x, y, z) :- R(x, y), S(y, z), T(z, x)
   backend:  python (forced by caller)
   structure: acyclic=False free-connex=False self-join-free=True rho*=1.500
   order:    x > y > z
+  stats:    R: rows=2
+  stats:    S: rows=2
+  stats:    T: rows=2
+  wcoj:     depth-first search over prefix tries (explicit stack; python backend)
   count     via materialize and count -- Õ(m^1.500) (worst-case-optimal join + count) [Theorem 3.13 (via Theorem 3.7)]
   iterate   via materialize, then stream in order -- materialize (full evaluation) [Theorem 3.14 / 4.5]
               note: no constant-delay guarantee: the query is not free-connex, so linear preprocessing with constant delay is ruled out on the hard side of the enumeration dichotomy
